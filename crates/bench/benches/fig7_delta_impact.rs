@@ -1,0 +1,39 @@
+//! Figure 7 as a benchmark: total time of the SkyServer workload for the
+//! four progressive algorithms under different fixed δ values. The paper's
+//! finding — cumulative time drops as δ grows and flattens out well before
+//! δ = 1 — shows up as the relative timings of the δ groups.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::{run_full_workload, skyserver_workload};
+use pi_core::budget::BudgetPolicy;
+use pi_experiments::AlgorithmId;
+
+fn bench_delta_impact(c: &mut Criterion) {
+    let workload = skyserver_workload();
+    let mut group = c.benchmark_group("fig7_delta_impact");
+    for &delta in &[0.05, 0.25, 1.0] {
+        for algorithm in AlgorithmId::PROGRESSIVE {
+            group.bench_function(
+                BenchmarkId::new(algorithm.label(), format!("delta_{delta}")),
+                |b| {
+                    b.iter(|| {
+                        black_box(run_full_workload(
+                            algorithm,
+                            &workload,
+                            BudgetPolicy::FixedDelta(delta),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_delta_impact
+);
+criterion_main!(benches);

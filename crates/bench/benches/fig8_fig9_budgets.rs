@@ -1,0 +1,39 @@
+//! Figures 8 and 9 as a benchmark: the SkyServer workload under the fixed
+//! indexing budget (δ = 0.25, Figure 8) versus the adaptive indexing
+//! budget (t_budget = 0.2 · t_scan, Figure 9) for each progressive
+//! algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::{run_full_workload, skyserver_workload};
+use pi_core::budget::BudgetPolicy;
+use pi_core::cost_model::{CostConstants, CostModel};
+use pi_experiments::AlgorithmId;
+
+fn bench_budget_modes(c: &mut Criterion) {
+    let workload = skyserver_workload();
+    let model = CostModel::new(CostConstants::synthetic(), workload.column.len());
+    let modes = [
+        ("fixed_delta_0.25", BudgetPolicy::FixedDelta(0.25)),
+        (
+            "adaptive_0.2_tscan",
+            BudgetPolicy::adaptive_scan_fraction(&model, 0.2),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig8_fig9_budgets");
+    for (label, policy) in modes {
+        for algorithm in AlgorithmId::PROGRESSIVE {
+            group.bench_function(BenchmarkId::new(algorithm.label(), label), |b| {
+                b.iter(|| black_box(run_full_workload(algorithm, &workload, policy)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_budget_modes
+);
+criterion_main!(benches);

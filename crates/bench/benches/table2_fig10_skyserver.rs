@@ -1,0 +1,36 @@
+//! Table 2 / Figure 10 as a benchmark: total SkyServer workload time for
+//! every technique — full scan, full index, the cracking family and the
+//! four progressive indexes. The paper's ordering (FS slowest overall, FI
+//! fastest overall, progressive techniques between the adaptive family
+//! and FI) shows up directly in the group's relative timings.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::{run_full_workload, skyserver_workload};
+use pi_core::budget::BudgetPolicy;
+use pi_experiments::AlgorithmId;
+
+fn bench_skyserver_comparison(c: &mut Criterion) {
+    let workload = skyserver_workload();
+    // The progressive techniques use the paper's adaptive budget of
+    // 0.2 · t_scan; baselines ignore the policy.
+    let model = pi_core::cost_model::CostModel::new(
+        pi_core::cost_model::CostConstants::synthetic(),
+        workload.column.len(),
+    );
+    let policy = BudgetPolicy::adaptive_scan_fraction(&model, 0.2);
+    let mut group = c.benchmark_group("table2_fig10_skyserver");
+    for algorithm in AlgorithmId::ALL {
+        group.bench_function(BenchmarkId::new("workload", algorithm.label()), |b| {
+            b.iter(|| black_box(run_full_workload(algorithm, &workload, policy)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_skyserver_comparison
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Tables 3–5 as a benchmark: the synthetic workload grid — uniform and
+//! skewed data crossed with representative query patterns — for the four
+//! progressive algorithms and adaptive adaptive indexing. The relative
+//! group timings reproduce the cumulative-time comparisons of Table 4;
+//! the per-run statistics Criterion reports cover first-query cost and
+//! variance at benchmark scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::{run_full_workload, synthetic_workload};
+use pi_core::budget::BudgetPolicy;
+use pi_experiments::AlgorithmId;
+use pi_workloads::{Distribution, Pattern};
+
+const ALGORITHMS: [AlgorithmId; 5] = [
+    AlgorithmId::ProgressiveQuicksort,
+    AlgorithmId::ProgressiveBucketsort,
+    AlgorithmId::ProgressiveRadixsortLsd,
+    AlgorithmId::ProgressiveRadixsortMsd,
+    AlgorithmId::AdaptiveAdaptive,
+];
+
+// A representative subset of the paper's eight patterns keeps the bench
+// run short while covering the sequential, random, skewed and zooming
+// behaviours that differentiate the algorithms.
+const PATTERNS: [Pattern; 4] = [
+    Pattern::SeqOver,
+    Pattern::Random,
+    Pattern::Skew,
+    Pattern::ZoomIn,
+];
+
+fn bench_block(c: &mut Criterion, name: &str, distribution: Distribution) {
+    let mut group = c.benchmark_group(format!("tables3_4_5_{name}"));
+    for pattern in PATTERNS {
+        let workload = synthetic_workload(distribution, pattern);
+        for algorithm in ALGORITHMS {
+            group.bench_function(
+                BenchmarkId::new(pattern.label(), algorithm.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(run_full_workload(
+                            algorithm,
+                            &workload,
+                            BudgetPolicy::FixedDelta(0.25),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_uniform(c: &mut Criterion) {
+    bench_block(c, "uniform", Distribution::UniformRandom);
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    bench_block(c, "skewed", Distribution::Skewed);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_uniform, bench_skewed
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of the data-set and workload generators (the inputs to
+//! Figures 5 and 6): uniform and skewed column generation, the eight
+//! synthetic query patterns and the SkyServer-substitute generator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::BENCH_SCALE;
+use pi_workloads::skyserver::{self, SkyServerConfig};
+use pi_workloads::{data, patterns, Distribution, Pattern, WorkloadSpec};
+
+fn bench_data_generation(c: &mut Criterion) {
+    let n = BENCH_SCALE.column_size;
+    let mut group = c.benchmark_group("data_generation");
+    for distribution in [Distribution::UniformRandom, Distribution::Skewed] {
+        group.bench_function(BenchmarkId::new(distribution.label(), n), |b| {
+            b.iter(|| black_box(data::generate(distribution, n, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::range(BENCH_SCALE.column_size as u64, 10_000);
+    let mut group = c.benchmark_group("pattern_generation");
+    for pattern in Pattern::ALL {
+        group.bench_function(BenchmarkId::new(pattern.label(), 10_000usize), |b| {
+            b.iter(|| black_box(patterns::generate(pattern, &spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skyserver_generation(c: &mut Criterion) {
+    let config = SkyServerConfig::scaled(BENCH_SCALE.column_size, BENCH_SCALE.query_count);
+    c.bench_function("skyserver_generation", |b| {
+        b.iter(|| black_box(skyserver::generate(config)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_data_generation, bench_pattern_generation, bench_skyserver_generation
+);
+criterion_main!(benches);

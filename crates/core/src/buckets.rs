@@ -1,0 +1,393 @@
+//! Linked-block buckets shared by the radix- and bucket-based progressive
+//! indexes.
+//!
+//! Section 3.2 of the paper: "To avoid having to allocate large regions of
+//! sequential data for every bucket, the buckets are implemented as a
+//! linked list of blocks of memory that each hold up to `s_b` elements.
+//! When a block is filled, another block is added to the list." The block
+//! layout trades a small per-`s_b`-elements allocation and random access
+//! (`τ` and `φ` in the cost model) for never having to grow or move bucket
+//! contents.
+//!
+//! The paper also fixes the number of buckets: with 512 L1 cache lines and
+//! 64 TLB entries on its machine, it uses `b = 64` buckets so that all
+//! bucket write heads stay cache- and TLB-resident
+//! ([`DEFAULT_BUCKET_COUNT`]).
+
+use pi_storage::scan::ScanResult;
+use pi_storage::Value;
+
+/// Default number of buckets `b` (one radix digit of `log2 64 = 6` bits).
+pub const DEFAULT_BUCKET_COUNT: usize = 64;
+
+/// Default block capacity `s_b` in elements (128 KiB of 8-byte values per
+/// block).
+pub const DEFAULT_BLOCK_CAPACITY: usize = 16 * 1024;
+
+/// A bucket stored as a list of fixed-capacity blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockBucket {
+    blocks: Vec<Vec<Value>>,
+    block_capacity: usize,
+    len: usize,
+}
+
+impl BlockBucket {
+    /// Creates an empty bucket whose blocks hold up to `block_capacity`
+    /// elements.
+    ///
+    /// # Panics
+    /// Panics when `block_capacity == 0`.
+    pub fn new(block_capacity: usize) -> Self {
+        assert!(block_capacity > 0, "bucket block capacity must be positive");
+        BlockBucket {
+            blocks: Vec::new(),
+            block_capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty bucket with [`DEFAULT_BLOCK_CAPACITY`].
+    pub fn with_default_blocks() -> Self {
+        Self::new(DEFAULT_BLOCK_CAPACITY)
+    }
+
+    /// Appends a value, allocating a new block when the current one is
+    /// full. Returns `true` when the push triggered a block allocation
+    /// (the `τ` event of the cost model).
+    #[inline]
+    pub fn push(&mut self, value: Value) -> bool {
+        let allocated = match self.blocks.last() {
+            Some(last) if last.len() < self.block_capacity => false,
+            _ => {
+                self.blocks.push(Vec::with_capacity(self.block_capacity));
+                true
+            }
+        };
+        // The block pushed or found above always has spare capacity.
+        self.blocks
+            .last_mut()
+            .expect("bucket always has a current block after the allocation check")
+            .push(value);
+        self.len += 1;
+        allocated
+    }
+
+    /// Number of elements stored in the bucket.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bucket holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks currently allocated.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block capacity `s_b` this bucket was created with.
+    #[inline]
+    pub fn block_capacity(&self) -> usize {
+        self.block_capacity
+    }
+
+    /// Element at insertion position `i` (0-based, insertion order).
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        assert!(i < self.len, "bucket index {i} out of bounds (len {})", self.len);
+        self.blocks[i / self.block_capacity][i % self.block_capacity]
+    }
+
+    /// Iterator over the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.blocks.iter().flat_map(|b| b.iter().copied())
+    }
+
+    /// Predicated range-sum over all elements of the bucket.
+    pub fn range_sum(&self, low: Value, high: Value) -> ScanResult {
+        let mut result = ScanResult::EMPTY;
+        for block in &self.blocks {
+            result = result.merge(pi_storage::scan::scan_range_sum(block, low, high));
+        }
+        result
+    }
+
+    /// Predicated range-sum over the elements at insertion positions
+    /// `[from, len)`. Used when a bucket is being drained into the next
+    /// structure and only its unconsumed tail still holds live data.
+    pub fn range_sum_from(&self, from: usize, low: Value, high: Value) -> ScanResult {
+        if from >= self.len {
+            return ScanResult::EMPTY;
+        }
+        let mut result = ScanResult::EMPTY;
+        let mut skip = from;
+        for block in &self.blocks {
+            if skip >= block.len() {
+                skip -= block.len();
+                continue;
+            }
+            result = result.merge(pi_storage::scan::scan_range_sum(&block[skip..], low, high));
+            skip = 0;
+        }
+        result
+    }
+
+    /// Copies all elements into `out` in insertion order.
+    pub fn append_to(&self, out: &mut Vec<Value>) {
+        for block in &self.blocks {
+            out.extend_from_slice(block);
+        }
+    }
+
+    /// Drops all blocks, releasing their memory.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+}
+
+/// A fixed-size set of [`BlockBucket`]s plus the routing metadata needed to
+/// map a value to its bucket. Construction of the per-algorithm routing
+/// (radix shift, equi-height bounds) lives with the algorithms; this type
+/// only manages storage.
+#[derive(Debug, Clone)]
+pub struct BucketSet {
+    buckets: Vec<BlockBucket>,
+    /// Total number of elements across all buckets.
+    len: usize,
+    /// Number of block allocations performed so far (for cost accounting).
+    allocations: u64,
+}
+
+impl BucketSet {
+    /// Creates `bucket_count` empty buckets with the given block capacity.
+    pub fn new(bucket_count: usize, block_capacity: usize) -> Self {
+        assert!(bucket_count > 0, "bucket count must be positive");
+        BucketSet {
+            buckets: (0..bucket_count)
+                .map(|_| BlockBucket::new(block_capacity))
+                .collect(),
+            len: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of elements across all buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bucket holds any element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of block allocations performed so far.
+    #[inline]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Appends `value` to bucket `bucket`.
+    ///
+    /// # Panics
+    /// Panics when `bucket` is out of range.
+    #[inline]
+    pub fn push(&mut self, bucket: usize, value: Value) {
+        if self.buckets[bucket].push(value) {
+            self.allocations += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Immutable access to bucket `i`.
+    #[inline]
+    pub fn bucket(&self, i: usize) -> &BlockBucket {
+        &self.buckets[i]
+    }
+
+    /// Sizes of all buckets, in bucket order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(BlockBucket::len).collect()
+    }
+
+    /// Predicated range-sum over a contiguous range of buckets
+    /// `[first, last]` (inclusive).
+    pub fn range_sum_buckets(&self, first: usize, last: usize, low: Value, high: Value) -> ScanResult {
+        let mut result = ScanResult::EMPTY;
+        for bucket in &self.buckets[first..=last.min(self.buckets.len() - 1)] {
+            result = result.merge(bucket.range_sum(low, high));
+        }
+        result
+    }
+
+    /// Releases the storage of bucket `i` (used once a bucket has been
+    /// merged into its successor structure).
+    pub fn clear_bucket(&mut self, i: usize) {
+        self.len -= self.buckets[i].len();
+        self.buckets[i].clear();
+    }
+
+    /// Iterator over the buckets in order.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockBucket> {
+        self.buckets.iter()
+    }
+
+    /// Consumes the set and returns its buckets in order.
+    pub fn into_buckets(self) -> Vec<BlockBucket> {
+        self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_allocates_blocks_lazily() {
+        let mut b = BlockBucket::new(4);
+        assert_eq!(b.block_count(), 0);
+        assert!(b.push(1)); // first push allocates
+        assert!(!b.push(2));
+        assert!(!b.push(3));
+        assert!(!b.push(4));
+        assert!(b.push(5)); // fifth push allocates a second block
+        assert_eq!(b.block_count(), 2);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn get_and_iter_follow_insertion_order() {
+        let mut b = BlockBucket::new(3);
+        for v in [9, 7, 5, 3, 1] {
+            b.push(v);
+        }
+        assert_eq!(b.get(0), 9);
+        assert_eq!(b.get(3), 3);
+        let collected: Vec<Value> = b.iter().collect();
+        assert_eq!(collected, vec![9, 7, 5, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let b = BlockBucket::new(2);
+        let _ = b.get(0);
+    }
+
+    #[test]
+    fn range_sum_matches_reference() {
+        let mut b = BlockBucket::new(3);
+        let values = [6, 3, 14, 13, 2, 1, 8, 19];
+        for v in values {
+            b.push(v);
+        }
+        let expected = pi_storage::scan::scan_range_sum(&values, 3, 13);
+        assert_eq!(b.range_sum(3, 13), expected);
+    }
+
+    #[test]
+    fn range_sum_from_skips_consumed_prefix() {
+        let mut b = BlockBucket::new(2);
+        let values = [10, 20, 30, 40, 50];
+        for v in values {
+            b.push(v);
+        }
+        // Skip the first three (already consumed) elements.
+        let expected = pi_storage::scan::scan_range_sum(&values[3..], 0, 100);
+        assert_eq!(b.range_sum_from(3, 0, 100), expected);
+        assert_eq!(b.range_sum_from(5, 0, 100), ScanResult::EMPTY);
+        assert_eq!(b.range_sum_from(7, 0, 100), ScanResult::EMPTY);
+    }
+
+    #[test]
+    fn append_to_preserves_order_and_clear_releases() {
+        let mut b = BlockBucket::new(2);
+        for v in [3, 1, 2] {
+            b.push(v);
+        }
+        let mut out = Vec::new();
+        b.append_to(&mut out);
+        assert_eq!(out, vec![3, 1, 2]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.block_count(), 0);
+    }
+
+    #[test]
+    fn bucket_set_tracks_len_and_allocations() {
+        let mut set = BucketSet::new(4, 2);
+        assert!(set.is_empty());
+        for i in 0..10u64 {
+            set.push((i % 4) as usize, i);
+        }
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.bucket_count(), 4);
+        // Buckets 0 and 1 hold 3 elements (2 blocks each); 2 and 3 hold 2
+        // (1 block each) = 6 allocations.
+        assert_eq!(set.allocations(), 6);
+        assert_eq!(set.sizes(), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn bucket_set_range_sum_over_bucket_interval() {
+        let mut set = BucketSet::new(4, 8);
+        // Value v goes to bucket v / 25 (a simple range partitioning).
+        for v in 0..100u64 {
+            set.push((v / 25) as usize, v);
+        }
+        let expected = pi_storage::scan::scan_range_sum(
+            &(0..100u64).collect::<Vec<_>>(),
+            30,
+            70,
+        );
+        // Values 30..=70 live in buckets 1 and 2.
+        assert_eq!(set.range_sum_buckets(1, 2, 30, 70), expected);
+    }
+
+    #[test]
+    fn bucket_set_clear_bucket_updates_len() {
+        let mut set = BucketSet::new(2, 4);
+        for v in 0..8u64 {
+            set.push((v % 2) as usize, v);
+        }
+        assert_eq!(set.len(), 8);
+        set.clear_bucket(0);
+        assert_eq!(set.len(), 4);
+        assert!(set.bucket(0).is_empty());
+        assert_eq!(set.bucket(1).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "block capacity")]
+    fn zero_block_capacity_rejected() {
+        let _ = BlockBucket::new(0);
+    }
+
+    #[test]
+    fn range_sum_buckets_clamps_last_index() {
+        let mut set = BucketSet::new(2, 4);
+        set.push(0, 5);
+        set.push(1, 10);
+        let r = set.range_sum_buckets(0, 99, 0, 100);
+        assert_eq!(r.sum, 15);
+        assert_eq!(r.count, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! # pi-core — Progressive Indexing
+//!
+//! A Rust implementation of **Progressive Indexes** (Holanda, Raasveldt,
+//! Manegold, Mühleisen — PVLDB 12(13), 2019): incremental indexes that are
+//! built as a side effect of query processing, with a *controllable,
+//! per-query indexing budget*, *robust and predictable* query performance
+//! and *deterministic convergence* towards a full B+-tree index —
+//! independent of workload pattern and data distribution.
+//!
+//! ## The four algorithms
+//!
+//! | Algorithm | Module | Best suited for |
+//! |---|---|---|
+//! | Progressive Quicksort | [`quicksort`] | general-purpose, lowest memory overhead |
+//! | Progressive Radixsort (MSD) | [`radix_msd`] | range queries over roughly uniform data |
+//! | Progressive Bucketsort (Equi-Height) | [`bucketsort`] | range queries over skewed data |
+//! | Progressive Radixsort (LSD) | [`radix_lsd`] | point-query dominated workloads |
+//!
+//! [`decision::recommend`] encodes the paper's decision tree (Figure 11)
+//! for choosing among them.
+//!
+//! ## Lifecycle
+//!
+//! Every algorithm moves through the same three phases — **creation**
+//! (absorb the base column), **refinement** (reorganise towards a sorted
+//! array) and **consolidation** (build a B+-tree on top) — before reaching
+//! the **converged** state. See [`result::Phase`].
+//!
+//! ## Budgets
+//!
+//! How much indexing work a query performs is governed by a
+//! [`budget::BudgetPolicy`]: a raw fixed δ, a fixed time budget translated
+//! into δ once, or an adaptive time budget re-translated before every
+//! query using the algorithm's [`cost_model`].
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pi_core::prelude::*;
+//! use pi_storage::Column;
+//!
+//! // A column of one hundred thousand pseudo-random values.
+//! let column = Arc::new(pi_core::testing::random_column(100_000, 1_000_000, 42));
+//!
+//! // Spend 25% of the total indexing work per query.
+//! let mut index = ProgressiveQuicksort::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.25));
+//!
+//! let first = index.query(10_000, 20_000);
+//! assert!(!index.is_converged());
+//!
+//! // Keep querying: the index converges and the answers never change.
+//! let mut last = first.scan_result();
+//! while !index.is_converged() {
+//!     last = index.query(10_000, 20_000).scan_result();
+//! }
+//! assert_eq!(last, first.scan_result());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod buckets;
+pub mod bucketsort;
+pub mod cost_model;
+pub mod decision;
+pub mod index;
+pub mod quicksort;
+pub mod radix_lsd;
+pub mod radix_msd;
+pub mod result;
+pub mod sorter;
+pub mod testing;
+
+pub use budget::{BudgetController, BudgetPolicy};
+pub use bucketsort::ProgressiveBucketsort;
+pub use cost_model::{CostConstants, CostModel};
+pub use decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
+pub use index::RangeIndex;
+pub use quicksort::ProgressiveQuicksort;
+pub use radix_lsd::ProgressiveRadixsortLsd;
+pub use radix_msd::ProgressiveRadixsortMsd;
+pub use result::{IndexStatus, Phase, QueryResult};
+
+/// Convenient glob-import of the types needed to use the library:
+/// `use pi_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::budget::BudgetPolicy;
+    pub use crate::bucketsort::ProgressiveBucketsort;
+    pub use crate::cost_model::{CostConstants, CostModel};
+    pub use crate::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
+    pub use crate::index::RangeIndex;
+    pub use crate::quicksort::ProgressiveQuicksort;
+    pub use crate::radix_lsd::ProgressiveRadixsortLsd;
+    pub use crate::radix_msd::ProgressiveRadixsortMsd;
+    pub use crate::result::{IndexStatus, Phase, QueryResult};
+}

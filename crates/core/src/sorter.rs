@@ -1,0 +1,603 @@
+//! Budgeted in-place incremental quicksort with query support over the
+//! partially sorted state.
+//!
+//! This is the machinery behind the *refinement phase* of Progressive
+//! Quicksort (§3.1) and, reused per bucket, behind the refinement phase of
+//! Progressive Bucketsort (§3.3): "We refine the index by recursively
+//! continuing the quicksort in-place in the separate sections. … We
+//! maintain a binary tree of the pivot points. In the nodes of this tree,
+//! we keep track of the pivot points and how far along the pivoting
+//! process we are."
+//!
+//! The sorter owns no data; it holds a tree of [`SortNode`]s describing a
+//! region `[start, end)` of an external array and exposes:
+//!
+//! * [`IncrementalSorter::refine`] — perform up to a budgeted number of
+//!   element operations (comparison/swap steps of the interruptible
+//!   partition, or whole-node sorts for nodes that fit in the L1 cache),
+//!   preferring the parts of the tree a focus predicate needs, exactly as
+//!   the paper prescribes ("we focus on refining parts of the index that
+//!   are required for query processing. After these parts have been
+//!   refined, the refinement process starts processing the neighboring
+//!   parts").
+//! * [`IncrementalSorter::query`] — answer a range-sum over the current
+//!   partially sorted state, using the pivot tree to skip sections that
+//!   cannot contain qualifying values.
+
+use pi_storage::scan::{scan_range_sum, ScanResult};
+use pi_storage::{sorted, Value};
+
+/// Number of elements below which a node is sorted outright instead of
+/// being partitioned further ("When we reach a node that is smaller than
+/// the L1 cache, we sort the entire node"): 32 KiB of 8-byte values.
+pub const DEFAULT_SMALL_NODE_ELEMENTS: usize = 4096;
+
+/// Progress state of one node of the pivot tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeState {
+    /// Interruptible in-place partition around `pivot`.
+    ///
+    /// Invariant over the node's range `[start, end)` of the external
+    /// array: `data[start..lo]` ≤ pivot, `data[unknown_end..end)` > pivot,
+    /// `data[lo..unknown_end)` not yet examined.
+    Partitioning {
+        pivot: Value,
+        lo: usize,
+        unknown_end: usize,
+    },
+    /// Partition finished; the node has two children.
+    Split {
+        pivot: Value,
+        left: usize,
+        right: usize,
+    },
+    /// The node's range is fully sorted.
+    Sorted,
+}
+
+/// One node of the pivot tree, covering `[start, end)` of the external
+/// array with value domain `[min, max]` (inherited from its parent, not
+/// recomputed from the data).
+#[derive(Debug, Clone)]
+struct SortNode {
+    start: usize,
+    end: usize,
+    min: Value,
+    max: Value,
+    parent: Option<usize>,
+    depth: usize,
+    state: NodeState,
+}
+
+/// Budgeted incremental quicksort over a region of an external array.
+#[derive(Debug, Clone)]
+pub struct IncrementalSorter {
+    nodes: Vec<SortNode>,
+    root: usize,
+    small_node: usize,
+    /// Number of nodes whose subtree is not yet fully sorted.
+    unsorted_leaves: usize,
+    /// Maximum node depth ever created (h of the cost model).
+    max_depth: usize,
+}
+
+impl IncrementalSorter {
+    /// Creates a sorter for the array region `[start, end)` whose values
+    /// are known to lie in `[min, max]`.
+    pub fn new(start: usize, end: usize, min: Value, max: Value) -> Self {
+        Self::with_small_node(start, end, min, max, DEFAULT_SMALL_NODE_ELEMENTS)
+    }
+
+    /// Like [`IncrementalSorter::new`] with an explicit small-node cutoff
+    /// (the L1-cache-sized leaf threshold).
+    pub fn with_small_node(
+        start: usize,
+        end: usize,
+        min: Value,
+        max: Value,
+        small_node: usize,
+    ) -> Self {
+        assert!(end >= start, "invalid sort range [{start}, {end})");
+        assert!(small_node >= 1, "small-node cutoff must be at least 1");
+        let mut sorter = IncrementalSorter {
+            nodes: Vec::new(),
+            root: 0,
+            small_node,
+            unsorted_leaves: 0,
+            max_depth: 0,
+        };
+        sorter.root = sorter.alloc_node(start, end, min, max, None, 0);
+        sorter
+    }
+
+    /// Creates a sorter whose root is already split at `boundary` around
+    /// `pivot`: positions `[start, boundary)` hold values in `[min, pivot]`
+    /// and `[boundary, end)` values in `(pivot, max]`.
+    ///
+    /// Progressive Quicksort uses this to carry the pivot boundary
+    /// established during its creation phase into the refinement phase
+    /// without re-partitioning the array.
+    pub fn with_initial_split(
+        start: usize,
+        end: usize,
+        min: Value,
+        max: Value,
+        pivot: Value,
+        boundary: usize,
+        small_node: usize,
+    ) -> Self {
+        assert!(end >= start, "invalid sort range [{start}, {end})");
+        assert!(
+            boundary >= start && boundary <= end,
+            "split boundary {boundary} outside [{start}, {end})"
+        );
+        assert!(small_node >= 1, "small-node cutoff must be at least 1");
+        // Degenerate regions need no split at all.
+        if end - start <= 1 || min >= max {
+            return Self::with_small_node(start, end, min, max, small_node);
+        }
+        let mut sorter = IncrementalSorter {
+            nodes: Vec::new(),
+            root: 0,
+            small_node,
+            unsorted_leaves: 0,
+            max_depth: 0,
+        };
+        // Allocate the root first so child parent pointers are valid.
+        sorter.root = sorter.alloc_node(start, end, min, max, None, 0);
+        let left = sorter.alloc_node(start, boundary, min, pivot, Some(sorter.root), 1);
+        let right = sorter.alloc_node(
+            boundary,
+            end,
+            pivot.saturating_add(1),
+            max,
+            Some(sorter.root),
+            1,
+        );
+        // The root was allocated as an unsorted (Partitioning) leaf;
+        // converting it to Split removes it from the leaf count.
+        sorter.unsorted_leaves -= 1;
+        sorter.nodes[sorter.root].state = NodeState::Split { pivot, left, right };
+        sorter.try_prune(sorter.root);
+        sorter
+    }
+
+    fn alloc_node(
+        &mut self,
+        start: usize,
+        end: usize,
+        min: Value,
+        max: Value,
+        parent: Option<usize>,
+        depth: usize,
+    ) -> usize {
+        let len = end - start;
+        // Nodes that cannot contain more than one distinct value — or no
+        // values at all — are sorted by definition.
+        let state = if len <= 1 || min >= max {
+            NodeState::Sorted
+        } else {
+            NodeState::Partitioning {
+                pivot: midpoint(min, max),
+                lo: start,
+                unknown_end: end,
+            }
+        };
+        let sorted_already = state == NodeState::Sorted;
+        let id = self.nodes.len();
+        self.nodes.push(SortNode {
+            start,
+            end,
+            min,
+            max,
+            parent,
+            depth,
+            state,
+        });
+        self.max_depth = self.max_depth.max(depth);
+        if !sorted_already {
+            self.unsorted_leaves += 1;
+        }
+        id
+    }
+
+    /// `true` once the whole region is fully sorted.
+    pub fn is_sorted(&self) -> bool {
+        self.unsorted_leaves == 0
+    }
+
+    /// Height of the pivot tree (maximum node depth created so far).
+    pub fn height(&self) -> usize {
+        self.max_depth
+    }
+
+    /// The array region `[start, end)` this sorter covers.
+    pub fn range(&self) -> (usize, usize) {
+        (self.nodes[self.root].start, self.nodes[self.root].end)
+    }
+
+    /// Performs up to `max_ops` element operations of sorting work on
+    /// `data`, preferring nodes that intersect the `focus` value range
+    /// when one is given. Returns the number of operations performed.
+    ///
+    /// `data` must be the same array on every call; the sorter only
+    /// touches positions inside its region.
+    pub fn refine(
+        &mut self,
+        data: &mut [Value],
+        max_ops: usize,
+        focus: Option<(Value, Value)>,
+    ) -> usize {
+        let mut ops = 0usize;
+        while ops < max_ops && !self.is_sorted() {
+            let node_id = focus
+                .and_then(|(low, high)| self.find_work_node(self.root, Some((low, high))))
+                .or_else(|| self.find_work_node(self.root, None));
+            let Some(node_id) = node_id else { break };
+            ops += self.work_on(node_id, data, max_ops - ops);
+        }
+        ops
+    }
+
+    /// Finds an unsorted node to work on, preferring (when `focus` is
+    /// given) nodes whose value domain intersects the focus range.
+    fn find_work_node(&self, node_id: usize, focus: Option<(Value, Value)>) -> Option<usize> {
+        let node = &self.nodes[node_id];
+        if let Some((low, high)) = focus {
+            if low > node.max || high < node.min {
+                return None;
+            }
+        }
+        match node.state {
+            NodeState::Sorted => None,
+            NodeState::Partitioning { .. } => Some(node_id),
+            NodeState::Split { left, right, .. } => self
+                .find_work_node(left, focus)
+                .or_else(|| self.find_work_node(right, focus)),
+        }
+    }
+
+    /// Performs up to `budget` operations on one node. Returns the number
+    /// of operations used.
+    fn work_on(&mut self, node_id: usize, data: &mut [Value], budget: usize) -> usize {
+        if budget == 0 {
+            return 0;
+        }
+        let (start, end, min, max, depth) = {
+            let n = &self.nodes[node_id];
+            (n.start, n.end, n.min, n.max, n.depth)
+        };
+        let len = end - start;
+
+        // Small nodes are sorted outright (atomically), as the paper does
+        // for pieces that fit in the L1 cache.
+        if len <= self.small_node {
+            data[start..end].sort_unstable();
+            self.mark_sorted(node_id);
+            return len.max(1);
+        }
+
+        let NodeState::Partitioning {
+            pivot,
+            mut lo,
+            mut unknown_end,
+        } = self.nodes[node_id].state
+        else {
+            return 0;
+        };
+
+        let mut ops = 0usize;
+        while lo < unknown_end && ops < budget {
+            if data[lo] <= pivot {
+                lo += 1;
+            } else {
+                unknown_end -= 1;
+                data.swap(lo, unknown_end);
+            }
+            ops += 1;
+        }
+
+        if lo == unknown_end {
+            // Partition complete: split into children.
+            let boundary = lo;
+            let left = self.alloc_node(start, boundary, min, pivot, Some(node_id), depth + 1);
+            let right = self.alloc_node(
+                boundary,
+                end,
+                pivot.saturating_add(1),
+                max,
+                Some(node_id),
+                depth + 1,
+            );
+            self.nodes[node_id].state = NodeState::Split { pivot, left, right };
+            // The node itself no longer counts as an unsorted leaf; its
+            // children were accounted for in `alloc_node`.
+            self.unsorted_leaves -= 1;
+            // Children that were born sorted may immediately complete the
+            // parent (e.g. an empty child plus a single-element child).
+            self.try_prune(node_id);
+        } else {
+            self.nodes[node_id].state = NodeState::Partitioning {
+                pivot,
+                lo,
+                unknown_end,
+            };
+        }
+        ops
+    }
+
+    /// Marks a node as sorted and prunes upwards: when both children of a
+    /// split node are sorted, the split node itself becomes sorted.
+    fn mark_sorted(&mut self, node_id: usize) {
+        if self.nodes[node_id].state != NodeState::Sorted {
+            self.nodes[node_id].state = NodeState::Sorted;
+            self.unsorted_leaves -= 1;
+        }
+        if let Some(parent) = self.nodes[node_id].parent {
+            self.try_prune(parent);
+        }
+    }
+
+    fn try_prune(&mut self, node_id: usize) {
+        if let NodeState::Split { left, right, .. } = self.nodes[node_id].state {
+            let both_sorted = self.nodes[left].state == NodeState::Sorted
+                && self.nodes[right].state == NodeState::Sorted;
+            if both_sorted {
+                self.nodes[node_id].state = NodeState::Sorted;
+                if let Some(parent) = self.nodes[node_id].parent {
+                    self.try_prune(parent);
+                }
+            }
+        }
+    }
+
+    /// Answers a range-sum query over the current (possibly partially
+    /// sorted) state of `data`, returning the result and the number of
+    /// elements that had to be read.
+    pub fn query(&self, data: &[Value], low: Value, high: Value) -> (ScanResult, u64) {
+        if low > high {
+            return (ScanResult::EMPTY, 0);
+        }
+        self.query_node(self.root, data, low, high)
+    }
+
+    fn query_node(
+        &self,
+        node_id: usize,
+        data: &[Value],
+        low: Value,
+        high: Value,
+    ) -> (ScanResult, u64) {
+        let node = &self.nodes[node_id];
+        // The node's value domain cannot intersect the predicate.
+        if low > node.max || high < node.min {
+            return (ScanResult::EMPTY, 0);
+        }
+        match node.state {
+            NodeState::Sorted => {
+                let slice = &data[node.start..node.end];
+                let result = sorted::sorted_range_sum(slice, low, high);
+                (result, result.count)
+            }
+            NodeState::Split { pivot, left, right } => {
+                let mut result = ScanResult::EMPTY;
+                let mut scanned = 0u64;
+                if low <= pivot {
+                    let (r, s) = self.query_node(left, data, low, high);
+                    result = result.merge(r);
+                    scanned += s;
+                }
+                if high > pivot {
+                    let (r, s) = self.query_node(right, data, low, high);
+                    result = result.merge(r);
+                    scanned += s;
+                }
+                (result, scanned)
+            }
+            NodeState::Partitioning {
+                pivot,
+                lo,
+                unknown_end,
+            } => {
+                let mut result = ScanResult::EMPTY;
+                let mut scanned = 0u64;
+                // Elements known to be ≤ pivot.
+                if low <= pivot {
+                    result = result.merge(scan_range_sum(&data[node.start..lo], low, high));
+                    scanned += (lo - node.start) as u64;
+                }
+                // Elements known to be > pivot.
+                if high > pivot {
+                    result = result.merge(scan_range_sum(&data[unknown_end..node.end], low, high));
+                    scanned += (node.end - unknown_end) as u64;
+                }
+                // The unexamined middle may contain anything.
+                result = result.merge(scan_range_sum(&data[lo..unknown_end], low, high));
+                scanned += (unknown_end - lo) as u64;
+                (result, scanned)
+            }
+        }
+    }
+
+    /// Debug helper: asserts that the region really is sorted once the
+    /// sorter claims so.
+    pub fn verify_sorted(&self, data: &[Value]) -> bool {
+        let (start, end) = self.range();
+        !self.is_sorted() || sorted::is_sorted(&data[start..end])
+    }
+}
+
+/// Overflow-safe midpoint of a closed value domain.
+fn midpoint(min: Value, max: Value) -> Value {
+    ((min as u128 + max as u128) / 2) as Value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, domain: u64, seed: u64) -> Vec<Value> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % domain
+            })
+            .collect()
+    }
+
+    fn fully_refine(sorter: &mut IncrementalSorter, data: &mut [Value]) {
+        let mut guard = 0;
+        while !sorter.is_sorted() {
+            let ops = sorter.refine(data, 1000, None);
+            assert!(ops > 0, "refine must make progress while unsorted");
+            guard += 1;
+            assert!(guard < 1_000_000, "sorter failed to converge");
+        }
+    }
+
+    #[test]
+    fn sorts_small_region_in_one_step() {
+        let mut data = vec![5, 3, 1, 4, 2];
+        let mut sorter = IncrementalSorter::new(0, 5, 1, 5);
+        sorter.refine(&mut data, 100, None);
+        assert!(sorter.is_sorted());
+        assert_eq!(data, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn converges_on_random_data_with_tiny_budget() {
+        let mut data = pseudo_random(20_000, 1_000_000, 42);
+        let mut reference = data.clone();
+        reference.sort_unstable();
+        let mut sorter = IncrementalSorter::with_small_node(0, data.len(), 0, 1_000_000, 64);
+        fully_refine(&mut sorter, &mut data);
+        assert_eq!(data, reference);
+        assert!(sorter.verify_sorted(&data));
+    }
+
+    #[test]
+    fn queries_are_correct_at_every_stage() {
+        let n = 10_000;
+        let domain = 50_000;
+        let mut data = pseudo_random(n, domain, 7);
+        let reference = data.clone();
+        let mut sorter = IncrementalSorter::with_small_node(0, n, 0, domain, 128);
+        let predicates = [(0, domain), (100, 5_000), (25_000, 26_000), (49_999, 49_999)];
+        let mut guard = 0;
+        loop {
+            for &(lo, hi) in &predicates {
+                let (result, _) = sorter.query(&data, lo, hi);
+                let expected = scan_range_sum(&reference, lo, hi);
+                assert_eq!(result, expected, "query [{lo},{hi}] wrong at step {guard}");
+            }
+            if sorter.is_sorted() {
+                break;
+            }
+            sorter.refine(&mut data, 777, None);
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+    }
+
+    #[test]
+    fn focus_prioritises_query_relevant_nodes() {
+        let n = 50_000;
+        let domain = 1_000_000u64;
+        let mut data = pseudo_random(n, domain, 99);
+        let mut sorter = IncrementalSorter::with_small_node(0, n, 0, domain, 256);
+        // Refine with a narrow focus; after enough focused work the scanned
+        // element count for the focused predicate should be far below n.
+        for _ in 0..40 {
+            sorter.refine(&mut data, n / 10, Some((0, domain / 64)));
+        }
+        let (_, scanned_focus) = sorter.query(&data, 0, domain / 64);
+        let (_, scanned_far) = sorter.query(&data, domain / 2, domain / 2 + domain / 64);
+        assert!(
+            scanned_focus < scanned_far,
+            "focused range should be better refined: {scanned_focus} vs {scanned_far}"
+        );
+    }
+
+    #[test]
+    fn refine_respects_budget_reasonably() {
+        let n = 100_000;
+        let mut data = pseudo_random(n, u64::MAX / 2, 3);
+        let mut sorter = IncrementalSorter::new(0, n, 0, u64::MAX / 2);
+        // A budget much smaller than the small-node cutoff can overshoot by
+        // at most one small-node sort; larger budgets should be respected
+        // within that tolerance.
+        let ops = sorter.refine(&mut data, 10_000, None);
+        assert!(ops <= 10_000 + DEFAULT_SMALL_NODE_ELEMENTS);
+        assert!(ops > 0);
+    }
+
+    #[test]
+    fn handles_all_equal_values() {
+        let mut data = vec![7u64; 10_000];
+        let mut sorter = IncrementalSorter::with_small_node(0, data.len(), 7, 7, 64);
+        // Domain min == max ⇒ sorted by definition, no work needed.
+        assert!(sorter.is_sorted());
+        assert_eq!(sorter.refine(&mut data, 100, None), 0);
+        let (r, _) = sorter.query(&data, 7, 7);
+        assert_eq!(r.count, 10_000);
+    }
+
+    #[test]
+    fn handles_heavily_skewed_domain() {
+        // All the data sits at the very bottom of a huge declared domain,
+        // forcing many one-sided splits.
+        let n = 8_192;
+        let mut data = pseudo_random(n, 100, 5);
+        let reference = {
+            let mut r = data.clone();
+            r.sort_unstable();
+            r
+        };
+        let mut sorter = IncrementalSorter::with_small_node(0, n, 0, u64::MAX, 32);
+        fully_refine(&mut sorter, &mut data);
+        assert_eq!(data, reference);
+    }
+
+    #[test]
+    fn empty_and_single_element_regions_are_trivially_sorted() {
+        let sorter = IncrementalSorter::new(5, 5, 0, 10);
+        assert!(sorter.is_sorted());
+        let sorter = IncrementalSorter::new(3, 4, 0, 10);
+        assert!(sorter.is_sorted());
+    }
+
+    #[test]
+    fn query_with_inverted_predicate_is_empty() {
+        let data = pseudo_random(1000, 1000, 11);
+        let sorter = IncrementalSorter::new(0, 1000, 0, 1000);
+        let (r, scanned) = sorter.query(&data, 500, 100);
+        assert_eq!(r, ScanResult::EMPTY);
+        assert_eq!(scanned, 0);
+    }
+
+    #[test]
+    fn height_grows_with_refinement() {
+        let n = 100_000;
+        let mut data = pseudo_random(n, u64::MAX / 4, 17);
+        let mut sorter = IncrementalSorter::with_small_node(0, n, 0, u64::MAX / 4, 512);
+        assert_eq!(sorter.height(), 0);
+        fully_refine(&mut sorter, &mut data);
+        assert!(sorter.height() >= 2);
+    }
+
+    #[test]
+    fn operates_on_sub_range_only() {
+        let mut data = vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0];
+        let mut sorter = IncrementalSorter::with_small_node(3, 7, 0, 10, 2);
+        fully_refine(&mut sorter, &mut data);
+        // Only positions 3..7 may change (and must end up sorted).
+        assert_eq!(&data[..3], &[9, 8, 7]);
+        assert_eq!(&data[7..], &[2, 1, 0]);
+        let mut middle = data[3..7].to_vec();
+        middle.sort_unstable();
+        assert_eq!(&data[3..7], middle.as_slice());
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 10: per-query execution time of Progressive Quicksort vs the
+//! best adaptive indexing techniques (Adaptive Adaptive Indexing and
+//! Progressive Stochastic Cracking 10%) over the SkyServer workload.
+
+use pi_experiments::registry::AlgorithmId;
+use pi_experiments::report::fmt_seconds;
+use pi_experiments::{skyserver_comparison, Scale};
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    let algorithms = [
+        AlgorithmId::ProgressiveQuicksort,
+        AlgorithmId::AdaptiveAdaptive,
+        AlgorithmId::ProgressiveStochasticCracking,
+    ];
+    let comparison = skyserver_comparison::run(scale, &algorithms);
+    println!("# Figure 10 — per-query time: PQ vs AA vs PSTC 10% (SkyServer workload)");
+    println!(
+        "# 1.2x scan reference: {} s",
+        fmt_seconds(1.2 * comparison.scan_seconds)
+    );
+    print!(
+        "{}",
+        skyserver_comparison::table2(&comparison).to_aligned_string()
+    );
+    println!();
+    println!("# per-query CSV");
+    print!(
+        "{}",
+        skyserver_comparison::figure10_series(&comparison, &algorithms).to_csv()
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 11: the decision tree recommending a progressive indexing
+//! technique per scenario (query shape × data distribution × memory
+//! constraint).
+
+use pi_core::decision::{full_decision_table, DataDistribution, QueryShape};
+use pi_experiments::report::Table;
+
+fn main() {
+    let mut table = Table::new(["query_shape", "distribution", "extra_memory", "recommendation"]);
+    for (scenario, algorithm) in full_decision_table() {
+        let shape = match scenario.query_shape {
+            QueryShape::Point => "point",
+            QueryShape::Range => "range",
+            QueryShape::Unknown => "unknown",
+        };
+        let distribution = match scenario.distribution {
+            DataDistribution::Uniform => "uniform",
+            DataDistribution::Skewed => "skewed",
+            DataDistribution::Unknown => "unknown",
+        };
+        table.push_row([
+            shape.to_string(),
+            distribution.to_string(),
+            scenario.extra_memory_allowed.to_string(),
+            algorithm.name().to_string(),
+        ]);
+    }
+    println!("# Figure 11 — progressive indexing decision tree");
+    print!("{}", table.to_aligned_string());
+    println!();
+    println!("# CSV");
+    print!("{}", table.to_csv());
+}

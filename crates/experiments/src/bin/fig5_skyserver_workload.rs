@@ -1,0 +1,49 @@
+//! Figure 5: the SkyServer-substitute data distribution (5a) and query
+//! pattern over time (5b).
+//!
+//! Prints a histogram of the generated column (20 equal-width bins over
+//! the domain) and the per-query range positions, both as CSV.
+
+use pi_experiments::report::Table;
+use pi_experiments::{Scale, Workload};
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    let workload = Workload::skyserver(scale);
+
+    // Figure 5a: value histogram.
+    let bins = 20usize;
+    let domain = workload.column.max().max(1) + 1;
+    let mut histogram = vec![0u64; bins];
+    for v in workload.column.iter() {
+        let b = (v as u128 * bins as u128 / domain as u128) as usize;
+        histogram[b.min(bins - 1)] += 1;
+    }
+    let mut hist_table = Table::new(["bin", "bin_low", "bin_high", "count"]);
+    for (i, &count) in histogram.iter().enumerate() {
+        let low = domain as u128 * i as u128 / bins as u128;
+        let high = domain as u128 * (i + 1) as u128 / bins as u128;
+        hist_table.push_row([
+            i.to_string(),
+            low.to_string(),
+            high.to_string(),
+            count.to_string(),
+        ]);
+    }
+
+    // Figure 5b: query ranges over the workload.
+    let mut query_table = Table::new(["query", "low", "high"]);
+    for (i, q) in workload.queries.iter().enumerate() {
+        query_table.push_row([(i + 1).to_string(), q.low.to_string(), q.high.to_string()]);
+    }
+
+    println!("# Figure 5a — SkyServer-substitute data distribution");
+    println!("# column size: {}, domain: [0, {domain})", workload.column.len());
+    print!("{}", hist_table.to_aligned_string());
+    println!();
+    println!("# Figure 5a CSV");
+    print!("{}", hist_table.to_csv());
+    println!();
+    println!("# Figure 5b CSV — query ranges over time ({} queries)", workload.queries.len());
+    print!("{}", query_table.to_csv());
+}

@@ -1,0 +1,34 @@
+//! Figure 6: the eight synthetic workload patterns.
+//!
+//! Emits, for every pattern, the query ranges over the workload as CSV so
+//! the pattern shapes can be plotted and visually compared with the
+//! paper's figure.
+
+use pi_experiments::report::Table;
+use pi_experiments::Scale;
+use pi_workloads::patterns::{self, Pattern, WorkloadSpec};
+
+fn main() {
+    let scale = Scale::from_env(Scale {
+        column_size: 1_000_000,
+        query_count: 200,
+    });
+    let spec = WorkloadSpec::range(scale.column_size as u64, scale.query_count);
+
+    let mut table = Table::new(["pattern", "query", "low", "high"]);
+    for pattern in Pattern::ALL {
+        for (i, q) in patterns::generate(pattern, &spec).iter().enumerate() {
+            table.push_row([
+                pattern.label().to_string(),
+                (i + 1).to_string(),
+                q.low.to_string(),
+                q.high.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "# Figure 6 — synthetic workload patterns (domain [0, {}), {} queries each, 10% selectivity)",
+        scale.column_size, scale.query_count
+    );
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,23 @@
+//! Figure 7: impact of δ on first-query time (7a), pay-off (7b),
+//! convergence (7c) and cumulative time (7d) for the four progressive
+//! indexing algorithms, over the SkyServer workload.
+
+use pi_experiments::delta_sweep::{self, DEFAULT_DELTAS};
+use pi_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    eprintln!(
+        "# running δ sweep over {} deltas, n = {}, {} queries ...",
+        DEFAULT_DELTAS.len(),
+        scale.column_size,
+        scale.query_count
+    );
+    let rows = delta_sweep::run(scale, &DEFAULT_DELTAS);
+    let table = delta_sweep::to_table(&rows);
+    println!("# Figure 7 — impact of δ (SkyServer workload)");
+    print!("{}", table.to_aligned_string());
+    println!();
+    println!("# CSV");
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,18 @@
+//! Figure 8: measured vs cost-model-predicted per-query time with a fixed
+//! indexing budget (δ = 0.25) over the SkyServer workload.
+
+use pi_experiments::cost_model_validation::{self, BudgetMode};
+use pi_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    let series = cost_model_validation::run(scale, BudgetMode::FixedDelta);
+    println!("# Figure 8 — cost-model validation, fixed δ = 0.25 (SkyServer workload)");
+    print!(
+        "{}",
+        cost_model_validation::summary_table(&series).to_aligned_string()
+    );
+    println!();
+    println!("# per-query CSV (measured vs predicted)");
+    print!("{}", cost_model_validation::series_table(&series).to_csv());
+}

@@ -1,0 +1,19 @@
+//! Figure 9: measured vs cost-model-predicted per-query time with the
+//! adaptive indexing budget (t_budget = 0.2 · t_scan) over the SkyServer
+//! workload.
+
+use pi_experiments::cost_model_validation::{self, BudgetMode};
+use pi_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    let series = cost_model_validation::run(scale, BudgetMode::Adaptive);
+    println!("# Figure 9 — cost-model validation, adaptive budget = 0.2 · t_scan (SkyServer workload)");
+    print!(
+        "{}",
+        cost_model_validation::summary_table(&series).to_aligned_string()
+    );
+    println!();
+    println!("# per-query CSV (measured vs predicted)");
+    print!("{}", cost_model_validation::series_table(&series).to_csv());
+}

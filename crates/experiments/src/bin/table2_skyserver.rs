@@ -1,0 +1,25 @@
+//! Table 2: the full SkyServer comparison — first-query time,
+//! convergence, robustness and cumulative time for every baseline,
+//! adaptive indexing technique and progressive indexing technique.
+
+use pi_experiments::report::fmt_seconds;
+use pi_experiments::{skyserver_comparison, Scale};
+
+fn main() {
+    let scale = Scale::from_env(Scale::DEFAULT);
+    eprintln!(
+        "# running Table 2 over n = {}, {} queries (11 algorithms) ...",
+        scale.column_size, scale.query_count
+    );
+    let comparison = skyserver_comparison::run_all(scale);
+    let table = skyserver_comparison::table2(&comparison);
+    println!("# Table 2 — SkyServer results");
+    println!(
+        "# measured full-scan cost: {} s per query",
+        fmt_seconds(comparison.scan_seconds)
+    );
+    print!("{}", table.to_aligned_string());
+    println!();
+    println!("# CSV");
+    print!("{}", table.to_csv());
+}

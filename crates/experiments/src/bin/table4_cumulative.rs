@@ -1,0 +1,21 @@
+//! Table 4: cumulative workload time over the synthetic workload grid
+//! (uniform / skewed / point-query / large blocks × workload patterns ×
+//! {PQ, PB, PLSD, PMSD, AA}).
+
+use pi_experiments::synthetic_grid::{self, Block, GridMetric};
+use pi_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale {
+        column_size: 1_000_000,
+        query_count: 200,
+    });
+    eprintln!("# running synthetic grid (this runs 4 blocks × patterns × 5 algorithms) ...");
+    let cells = synthetic_grid::run(scale, &Block::ALL);
+    let table = synthetic_grid::to_table(&cells, GridMetric::Cumulative);
+    println!("# Table 4 — cumulative time (seconds)");
+    print!("{}", table.to_aligned_string());
+    println!();
+    println!("# CSV");
+    print!("{}", table.to_csv());
+}

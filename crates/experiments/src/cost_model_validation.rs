@@ -1,0 +1,193 @@
+//! Figures 8 and 9: validation of the per-phase cost models.
+//!
+//! Figure 8 runs the SkyServer workload with a *fixed* δ of 0.25 and plots
+//! the measured per-query time against the cost model's prediction for
+//! each of the four progressive algorithms. Figure 9 repeats the
+//! experiment with the *adaptive* indexing budget (`t_budget = 0.2 ·
+//! t_scan`). The reproduction emits the same per-query series plus a
+//! summary of the prediction error.
+
+use pi_core::budget::BudgetPolicy;
+use pi_core::cost_model::{CostConstants, CostModel};
+
+use crate::metrics::mean;
+use crate::registry::AlgorithmId;
+use crate::report::{fmt_seconds, Table};
+use crate::runner::{run_workload, QueryRecord};
+use crate::scale::Scale;
+use crate::setup::Workload;
+
+/// Which budget mode the validation runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetMode {
+    /// Figure 8: fixed δ = 0.25 for every query.
+    FixedDelta,
+    /// Figure 9: adaptive budget of `0.2 · t_scan` per query.
+    Adaptive,
+}
+
+impl BudgetMode {
+    /// Label used in output file names and table captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetMode::FixedDelta => "fixed-delta-0.25",
+            BudgetMode::Adaptive => "adaptive-0.2-tscan",
+        }
+    }
+}
+
+/// Per-query measured-vs-predicted series for one algorithm.
+#[derive(Debug, Clone)]
+pub struct ValidationSeries {
+    /// Algorithm being validated.
+    pub algorithm: AlgorithmId,
+    /// Budget mode of the run.
+    pub mode: BudgetMode,
+    /// Per-query records (measured time, prediction, phase, δ).
+    pub records: Vec<QueryRecord>,
+}
+
+impl ValidationSeries {
+    /// Mean absolute relative error of the cost-model prediction over the
+    /// queries that carried a prediction.
+    pub fn mean_relative_error(&self) -> f64 {
+        let errors: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.predicted_seconds.and_then(|p| {
+                    if r.seconds > 0.0 && p > 0.0 {
+                        Some(((p - r.seconds) / r.seconds).abs())
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        mean(&errors)
+    }
+
+    /// Fraction of queries that carried a cost-model prediction.
+    pub fn prediction_coverage(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.predicted_seconds.is_some())
+            .count() as f64
+            / self.records.len() as f64
+    }
+}
+
+/// Runs the validation for all four progressive algorithms.
+pub fn run(scale: Scale, mode: BudgetMode) -> Vec<ValidationSeries> {
+    let workload = Workload::skyserver(scale);
+    let constants = CostConstants::calibrate();
+    let model = CostModel::new(constants, workload.column.len());
+    let policy = match mode {
+        BudgetMode::FixedDelta => BudgetPolicy::FixedDelta(0.25),
+        BudgetMode::Adaptive => BudgetPolicy::adaptive_scan_fraction(&model, 0.2),
+    };
+    AlgorithmId::PROGRESSIVE
+        .into_iter()
+        .map(|algorithm| {
+            let mut index = algorithm.build(workload.column.clone(), policy, constants);
+            let run = run_workload(index.as_mut(), &workload.queries);
+            ValidationSeries {
+                algorithm,
+                mode,
+                records: run.records,
+            }
+        })
+        .collect()
+}
+
+/// The per-query series as a CSV-ready table
+/// (`algorithm,query,measured_s,predicted_s,phase,delta`).
+pub fn series_table(series: &[ValidationSeries]) -> Table {
+    let mut table = Table::new([
+        "algorithm",
+        "query",
+        "measured_s",
+        "predicted_s",
+        "phase",
+        "delta",
+    ]);
+    for s in series {
+        for r in &s.records {
+            table.push_row([
+                s.algorithm.label().to_string(),
+                (r.query_number + 1).to_string(),
+                format!("{:.3e}", r.seconds),
+                r.predicted_seconds
+                    .map(|p| format!("{p:.3e}"))
+                    .unwrap_or_else(|| "".to_string()),
+                r.phase.label().to_string(),
+                format!("{:.6}", r.delta),
+            ]);
+        }
+    }
+    table
+}
+
+/// Summary table: prediction error and coverage per algorithm.
+pub fn summary_table(series: &[ValidationSeries]) -> Table {
+    let mut table = Table::new([
+        "algorithm",
+        "mode",
+        "mean_rel_error",
+        "prediction_coverage",
+        "cumulative_s",
+    ]);
+    for s in series {
+        let cumulative: f64 = s.records.iter().map(|r| r.seconds).sum();
+        table.push_row([
+            s.algorithm.label().to_string(),
+            s.mode.label().to_string(),
+            format!("{:.3}", s.mean_relative_error()),
+            format!("{:.2}", s.prediction_coverage()),
+            fmt_seconds(cumulative),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_progressive_algorithm_produces_predictions() {
+        let series = run(Scale::TINY, BudgetMode::FixedDelta);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.records.len(), Scale::TINY.query_count);
+            // Predictions are only made while indexing work remains; on
+            // this tiny workload the indexes converge quickly, so require
+            // a prediction for the first query and some overall coverage.
+            assert!(
+                s.records[0].predicted_seconds.is_some(),
+                "{}: first query carried no prediction",
+                s.algorithm
+            );
+            assert!(
+                s.prediction_coverage() > 0.0,
+                "{}: coverage {}",
+                s.algorithm,
+                s.prediction_coverage()
+            );
+        }
+        let table = summary_table(&series);
+        assert_eq!(table.row_count(), 4);
+    }
+
+    #[test]
+    fn adaptive_mode_also_runs() {
+        let series = run(Scale::TINY, BudgetMode::Adaptive);
+        assert_eq!(series.len(), 4);
+        let per_query = series_table(&series);
+        assert_eq!(per_query.row_count(), 4 * Scale::TINY.query_count);
+        assert_eq!(BudgetMode::Adaptive.label(), "adaptive-0.2-tscan");
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 7: impact of the δ parameter on the four progressive indexing
+//! algorithms.
+//!
+//! The experiment runs the SkyServer workload for a range of fixed δ
+//! values and reports, per algorithm and δ: the first-query time (Fig 7a),
+//! the pay-off query (Fig 7b), the convergence query (Fig 7c) and the
+//! cumulative workload time (Fig 7d).
+
+use pi_core::budget::BudgetPolicy;
+use pi_core::cost_model::CostConstants;
+
+use crate::metrics::Metrics;
+use crate::registry::AlgorithmId;
+use crate::report::{fmt_seconds, Table};
+use crate::runner::run_workload;
+use crate::scale::{measure_scan_seconds, Scale};
+use crate::setup::Workload;
+
+/// The δ values swept by default. The paper sweeps `[0.005, 1]` on a log
+/// scale; this grid keeps the same span with fewer points so the default
+/// run stays fast.
+pub const DEFAULT_DELTAS: [f64; 7] = [0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+/// One point of the δ sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaSweepRow {
+    /// Progressive algorithm being measured.
+    pub algorithm: AlgorithmId,
+    /// The fixed δ used for every query of the workload.
+    pub delta: f64,
+    /// Summary metrics of the run.
+    pub metrics: Metrics,
+}
+
+/// Runs the δ sweep for all four progressive algorithms over the SkyServer
+/// workload at `scale`.
+pub fn run(scale: Scale, deltas: &[f64]) -> Vec<DeltaSweepRow> {
+    let workload = Workload::skyserver(scale);
+    let constants = CostConstants::calibrate();
+    let scan_seconds = measure_scan_seconds(&workload.column, 3);
+    let mut rows = Vec::new();
+    for &delta in deltas {
+        for algorithm in AlgorithmId::PROGRESSIVE {
+            let mut index = algorithm.build(
+                workload.column.clone(),
+                BudgetPolicy::FixedDelta(delta),
+                constants,
+            );
+            let run = run_workload(index.as_mut(), &workload.queries);
+            rows.push(DeltaSweepRow {
+                algorithm,
+                delta,
+                metrics: Metrics::from_run(&run, scan_seconds),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as one table with a row per (algorithm, δ) pair.
+pub fn to_table(rows: &[DeltaSweepRow]) -> Table {
+    let mut table = Table::new([
+        "algorithm",
+        "delta",
+        "first_query_s",
+        "payoff_query",
+        "convergence_query",
+        "cumulative_s",
+    ]);
+    for row in rows {
+        table.push_row([
+            row.algorithm.label().to_string(),
+            format!("{}", row.delta),
+            fmt_seconds(row.metrics.first_query_seconds),
+            row.metrics.payoff_label(),
+            row.metrics.convergence_label(),
+            fmt_seconds(row.metrics.cumulative_seconds),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_algorithm_and_delta() {
+        let rows = run(Scale::TINY, &[0.25, 1.0]);
+        assert_eq!(rows.len(), 2 * AlgorithmId::PROGRESSIVE.len());
+        let table = to_table(&rows);
+        assert_eq!(table.row_count(), rows.len());
+    }
+
+    #[test]
+    fn higher_delta_converges_no_later() {
+        let rows = run(Scale::TINY, &[0.05, 1.0]);
+        for algorithm in AlgorithmId::PROGRESSIVE {
+            let small: Vec<_> = rows
+                .iter()
+                .filter(|r| r.algorithm == algorithm && r.delta == 0.05)
+                .collect();
+            let large: Vec<_> = rows
+                .iter()
+                .filter(|r| r.algorithm == algorithm && r.delta == 1.0)
+                .collect();
+            let small_conv = small[0].metrics.convergence_query.unwrap_or(usize::MAX);
+            let large_conv = large[0].metrics.convergence_query.unwrap_or(usize::MAX);
+            assert!(
+                large_conv <= small_conv,
+                "{algorithm}: δ=1.0 converged at {large_conv}, δ=0.05 at {small_conv}"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # pi-experiments — the evaluation harness
+//!
+//! Reproduces every table and figure of Section 4 of the Progressive
+//! Indexes paper. The crate has two layers:
+//!
+//! * **Library** — reusable pieces: the [`registry`] of all eleven
+//!   indexing techniques, the workload [`runner`], the evaluation
+//!   [`metrics`], experiment [`setup`] helpers, result [`report`]ing, and
+//!   one module per experiment family ([`delta_sweep`],
+//!   [`cost_model_validation`], [`skyserver_comparison`],
+//!   [`synthetic_grid`]).
+//! * **Binaries** (`src/bin/`) — one executable per paper artefact
+//!   (`fig5_*` … `fig11_*`, `table2_*` … `table5_*`). Each prints an
+//!   aligned table plus CSV, and accepts `--n <elements>` /
+//!   `--queries <count>` to scale from the laptop-friendly defaults
+//!   towards the paper's sizes.
+//!
+//! | Paper artefact | Binary | Library entry point |
+//! |---|---|---|
+//! | Figure 5 | `fig5_skyserver_workload` | [`setup::Workload::skyserver`] |
+//! | Figure 6 | `fig6_workload_patterns` | [`pi_workloads::patterns`] |
+//! | Figure 7 | `fig7_delta_impact` | [`delta_sweep::run`] |
+//! | Figure 8 | `fig8_cost_model_fixed` | [`cost_model_validation::run`] |
+//! | Figure 9 | `fig9_cost_model_adaptive` | [`cost_model_validation::run`] |
+//! | Table 2  | `table2_skyserver` | [`skyserver_comparison::run_all`] |
+//! | Figure 10 | `fig10_progressive_vs_adaptive` | [`skyserver_comparison::figure10_series`] |
+//! | Tables 3–5 | `table3_first_query`, `table4_cumulative`, `table5_robustness` | [`synthetic_grid::run`] |
+//! | Figure 11 | `fig11_decision_tree` | [`pi_core::decision::full_decision_table`] |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost_model_validation;
+pub mod delta_sweep;
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod setup;
+pub mod skyserver_comparison;
+pub mod synthetic_grid;
+
+pub use metrics::Metrics;
+pub use registry::AlgorithmId;
+pub use report::Table;
+pub use runner::{run_workload, QueryRecord, WorkloadRun};
+pub use scale::Scale;
+pub use setup::Workload;

@@ -1,0 +1,190 @@
+//! The evaluation metrics of Section 4.4: first-query cost, pay-off,
+//! convergence, robustness and cumulative time.
+
+use crate::runner::WorkloadRun;
+
+/// Summary metrics of one workload run, matching the columns of the
+/// paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Wall-clock time of the first query, in seconds.
+    pub first_query_seconds: f64,
+    /// 1-based query number at which the cumulative time of this run drops
+    /// to (or below) the cumulative time of repeatedly full-scanning —
+    /// the paper's "pay-off" metric. `None` when the run never pays off
+    /// within the measured workload.
+    pub payoff_query: Option<usize>,
+    /// 1-based query number at which the index reported convergence,
+    /// `None` when it never converged (the paper prints `x`).
+    pub convergence_query: Option<usize>,
+    /// Variance of the first 100 query times (the paper's robustness
+    /// metric; lower is better).
+    pub robustness_variance: f64,
+    /// Total time of the whole workload, in seconds.
+    pub cumulative_seconds: f64,
+}
+
+impl Metrics {
+    /// Computes the metrics for `run`, given the measured cost of one full
+    /// scan of the column (`scan_seconds`), which anchors the pay-off
+    /// comparison.
+    pub fn from_run(run: &WorkloadRun, scan_seconds: f64) -> Self {
+        let times = run.times();
+        Metrics {
+            first_query_seconds: run.first_query_seconds(),
+            payoff_query: payoff_query(&times, scan_seconds),
+            convergence_query: run.converged_at.map(|q| q + 1),
+            robustness_variance: robustness(&times, 100),
+            cumulative_seconds: run.cumulative_seconds(),
+        }
+    }
+
+    /// Formats the convergence column the way the paper does (`x` when the
+    /// technique never converges).
+    pub fn convergence_label(&self) -> String {
+        match self.convergence_query {
+            Some(q) => q.to_string(),
+            None => "x".to_string(),
+        }
+    }
+
+    /// Formats the pay-off column (`x` when the workload never pays off).
+    pub fn payoff_label(&self) -> String {
+        match self.payoff_query {
+            Some(q) => q.to_string(),
+            None => "x".to_string(),
+        }
+    }
+}
+
+/// The pay-off query: the smallest `q` (1-based) such that the cumulative
+/// time of the first `q` queries is at most `q * scan_seconds`
+/// (i.e. `Σ_q t_prog ≤ Σ_q t_scan`, Section 4.2).
+pub fn payoff_query(times: &[f64], scan_seconds: f64) -> Option<usize> {
+    let mut cumulative = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        cumulative += t;
+        if cumulative <= scan_seconds * (i + 1) as f64 {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// Population variance of the first `window` query times — the paper's
+/// robustness metric ("variance of the first 100 query times").
+pub fn robustness(times: &[f64], window: usize) -> f64 {
+    let slice = &times[..times.len().min(window)];
+    variance(slice)
+}
+
+/// Population variance of a sample (0 for fewer than two observations).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n
+}
+
+/// Arithmetic mean (0 for an empty sample).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::QueryRecord;
+    use pi_core::result::Phase;
+
+    fn run_with_times(times: &[f64], converged_at: Option<usize>) -> WorkloadRun {
+        WorkloadRun {
+            index_name: "test".to_string(),
+            records: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| QueryRecord {
+                    query_number: i,
+                    seconds: t,
+                    sum: 0,
+                    count: 0,
+                    phase: Phase::Creation,
+                    delta: 0.0,
+                    predicted_seconds: None,
+                    indexing_ops: 0,
+                    elements_scanned: 0,
+                })
+                .collect(),
+            converged_at,
+        }
+    }
+
+    #[test]
+    fn variance_of_constant_series_is_zero() {
+        assert_eq!(variance(&[0.5; 10]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        let v = variance(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((v - 1.25).abs() < 1e-12);
+        assert!((mean(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payoff_is_immediate_when_queries_are_cheaper_than_scans() {
+        assert_eq!(payoff_query(&[0.5, 0.5], 1.0), Some(1));
+    }
+
+    #[test]
+    fn payoff_happens_once_cumulative_cost_amortises() {
+        // First query is 3x a scan; subsequent queries are free, so the
+        // investment amortises at query 3 (3 * 1.0 >= 3.0).
+        let times = [3.0, 0.0, 0.0, 0.0];
+        assert_eq!(payoff_query(&times, 1.0), Some(3));
+    }
+
+    #[test]
+    fn payoff_never_happens_for_consistently_slower_queries() {
+        assert_eq!(payoff_query(&[2.0; 10], 1.0), None);
+    }
+
+    #[test]
+    fn metrics_from_run_wires_everything_together() {
+        let run = run_with_times(&[2.0, 0.1, 0.1, 0.1], Some(2));
+        let m = Metrics::from_run(&run, 1.0);
+        assert_eq!(m.first_query_seconds, 2.0);
+        // Cumulative cost catches up with 3 scans' worth at query 3
+        // (2.0 + 0.1 + 0.1 = 2.2 <= 3 * 1.0).
+        assert_eq!(m.payoff_query, Some(3));
+        assert_eq!(m.convergence_query, Some(3));
+        assert_eq!(m.convergence_label(), "3");
+        assert_eq!(m.payoff_label(), "3");
+        assert!((m.cumulative_seconds - 2.3).abs() < 1e-12);
+        assert!(m.robustness_variance > 0.0);
+    }
+
+    #[test]
+    fn unconverged_run_prints_x() {
+        let run = run_with_times(&[1.0, 1.0], None);
+        let m = Metrics::from_run(&run, 0.1);
+        assert_eq!(m.convergence_label(), "x");
+        assert_eq!(m.payoff_label(), "x");
+    }
+
+    #[test]
+    fn robustness_uses_only_the_first_window() {
+        let mut times = vec![1.0; 100];
+        times.extend_from_slice(&[100.0; 10]);
+        assert_eq!(robustness(&times, 100), 0.0);
+        assert!(robustness(&times, 110) > 0.0);
+    }
+}

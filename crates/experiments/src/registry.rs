@@ -1,0 +1,224 @@
+//! The algorithm registry: every indexing technique the paper evaluates,
+//! addressable by the label used in its tables, and constructible through
+//! one uniform factory.
+
+use std::sync::Arc;
+
+use pi_core::budget::BudgetPolicy;
+use pi_core::cost_model::{CostConstants, CostModel};
+use pi_core::{
+    ProgressiveBucketsort, ProgressiveQuicksort, ProgressiveRadixsortLsd, ProgressiveRadixsortMsd,
+    RangeIndex,
+};
+use pi_cracking::{
+    AdaptiveAdaptiveIndexing, CoarseGranularIndex, FullIndex, FullScan,
+    ProgressiveStochasticCracking, StandardCracking, StochasticCracking,
+};
+use pi_storage::Column;
+
+/// Every indexing technique of the paper's evaluation (Tables 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmId {
+    /// `FS` — predicated full scan, no index.
+    FullScan,
+    /// `FI` — full sort + B+-tree on the first query.
+    FullIndex,
+    /// `STD` — standard database cracking.
+    StandardCracking,
+    /// `STC` — stochastic cracking.
+    StochasticCracking,
+    /// `PSTC` — progressive stochastic cracking (10% swaps).
+    ProgressiveStochasticCracking,
+    /// `CGI` — coarse granular index.
+    CoarseGranularIndex,
+    /// `AA` — adaptive adaptive indexing.
+    AdaptiveAdaptive,
+    /// `PQ` — progressive quicksort.
+    ProgressiveQuicksort,
+    /// `PMSD` — progressive radixsort (most significant digits).
+    ProgressiveRadixsortMsd,
+    /// `PLSD` — progressive radixsort (least significant digits).
+    ProgressiveRadixsortLsd,
+    /// `PB` — progressive bucketsort (equi-height).
+    ProgressiveBucketsort,
+}
+
+impl AlgorithmId {
+    /// Every algorithm, in the row order of Table 2.
+    pub const ALL: [AlgorithmId; 11] = [
+        AlgorithmId::FullScan,
+        AlgorithmId::FullIndex,
+        AlgorithmId::StandardCracking,
+        AlgorithmId::StochasticCracking,
+        AlgorithmId::ProgressiveStochasticCracking,
+        AlgorithmId::CoarseGranularIndex,
+        AlgorithmId::AdaptiveAdaptive,
+        AlgorithmId::ProgressiveQuicksort,
+        AlgorithmId::ProgressiveRadixsortMsd,
+        AlgorithmId::ProgressiveRadixsortLsd,
+        AlgorithmId::ProgressiveBucketsort,
+    ];
+
+    /// The four progressive indexing techniques introduced by the paper.
+    pub const PROGRESSIVE: [AlgorithmId; 4] = [
+        AlgorithmId::ProgressiveQuicksort,
+        AlgorithmId::ProgressiveBucketsort,
+        AlgorithmId::ProgressiveRadixsortLsd,
+        AlgorithmId::ProgressiveRadixsortMsd,
+    ];
+
+    /// The adaptive indexing baselines (the cracking family).
+    pub const ADAPTIVE: [AlgorithmId; 5] = [
+        AlgorithmId::StandardCracking,
+        AlgorithmId::StochasticCracking,
+        AlgorithmId::ProgressiveStochasticCracking,
+        AlgorithmId::CoarseGranularIndex,
+        AlgorithmId::AdaptiveAdaptive,
+    ];
+
+    /// The short label used in the paper's tables (`FS`, `FI`, `STD`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmId::FullScan => "FS",
+            AlgorithmId::FullIndex => "FI",
+            AlgorithmId::StandardCracking => "STD",
+            AlgorithmId::StochasticCracking => "STC",
+            AlgorithmId::ProgressiveStochasticCracking => "PSTC",
+            AlgorithmId::CoarseGranularIndex => "CGI",
+            AlgorithmId::AdaptiveAdaptive => "AA",
+            AlgorithmId::ProgressiveQuicksort => "PQ",
+            AlgorithmId::ProgressiveRadixsortMsd => "PMSD",
+            AlgorithmId::ProgressiveRadixsortLsd => "PLSD",
+            AlgorithmId::ProgressiveBucketsort => "PB",
+        }
+    }
+
+    /// Parses a paper label (case-insensitive) back into an id.
+    pub fn from_label(label: &str) -> Option<Self> {
+        let upper = label.to_ascii_uppercase();
+        Self::ALL.into_iter().find(|a| a.label() == upper)
+    }
+
+    /// `true` for the paper's own progressive indexing techniques.
+    pub fn is_progressive(self) -> bool {
+        Self::PROGRESSIVE.contains(&self)
+    }
+
+    /// `true` for the adaptive indexing (cracking) baselines.
+    pub fn is_adaptive(self) -> bool {
+        Self::ADAPTIVE.contains(&self)
+    }
+
+    /// Builds an index instance over `column`.
+    ///
+    /// `policy` and `constants` only affect the progressive techniques;
+    /// the baselines have no indexing budget.
+    pub fn build(
+        self,
+        column: Arc<Column>,
+        policy: BudgetPolicy,
+        constants: CostConstants,
+    ) -> Box<dyn RangeIndex> {
+        match self {
+            AlgorithmId::FullScan => Box::new(FullScan::new(column)),
+            AlgorithmId::FullIndex => Box::new(FullIndex::new(column)),
+            AlgorithmId::StandardCracking => Box::new(StandardCracking::new(column)),
+            AlgorithmId::StochasticCracking => Box::new(StochasticCracking::new(column)),
+            AlgorithmId::ProgressiveStochasticCracking => {
+                Box::new(ProgressiveStochasticCracking::new(column))
+            }
+            AlgorithmId::CoarseGranularIndex => Box::new(CoarseGranularIndex::new(column)),
+            AlgorithmId::AdaptiveAdaptive => Box::new(AdaptiveAdaptiveIndexing::new(column)),
+            AlgorithmId::ProgressiveQuicksort => {
+                Box::new(ProgressiveQuicksort::with_constants(column, policy, constants))
+            }
+            AlgorithmId::ProgressiveRadixsortMsd => Box::new(
+                ProgressiveRadixsortMsd::with_constants(column, policy, constants),
+            ),
+            AlgorithmId::ProgressiveRadixsortLsd => Box::new(
+                ProgressiveRadixsortLsd::with_constants(column, policy, constants),
+            ),
+            AlgorithmId::ProgressiveBucketsort => Box::new(
+                ProgressiveBucketsort::with_constants(column, policy, constants),
+            ),
+        }
+    }
+
+    /// Convenience: builds the index with the paper's default experiment
+    /// budget — an adaptive indexing budget of `0.2 · t_scan` — computed
+    /// for this column under `constants`.
+    pub fn build_with_default_budget(
+        self,
+        column: Arc<Column>,
+        constants: CostConstants,
+    ) -> Box<dyn RangeIndex> {
+        let model = CostModel::new(constants, column.len());
+        let policy = BudgetPolicy::adaptive_scan_fraction(&model, 0.2);
+        self.build(column, policy, constants)
+    }
+}
+
+impl std::fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::testing::{random_column, ReferenceIndex};
+
+    #[test]
+    fn labels_round_trip() {
+        for algo in AlgorithmId::ALL {
+            assert_eq!(AlgorithmId::from_label(algo.label()), Some(algo));
+        }
+        assert_eq!(AlgorithmId::from_label("pq"), Some(AlgorithmId::ProgressiveQuicksort));
+        assert_eq!(AlgorithmId::from_label("nope"), None);
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        let progressive = AlgorithmId::ALL.iter().filter(|a| a.is_progressive()).count();
+        let adaptive = AlgorithmId::ALL.iter().filter(|a| a.is_adaptive()).count();
+        assert_eq!(progressive, 4);
+        assert_eq!(adaptive, 5);
+        assert!(!AlgorithmId::FullScan.is_progressive());
+        assert!(!AlgorithmId::FullIndex.is_adaptive());
+    }
+
+    #[test]
+    fn every_algorithm_builds_and_answers_correctly() {
+        let column = Arc::new(random_column(5_000, 10_000, 77));
+        let reference = ReferenceIndex::new(&column);
+        let constants = CostConstants::synthetic();
+        for algo in AlgorithmId::ALL {
+            let mut index = algo.build(
+                Arc::clone(&column),
+                BudgetPolicy::FixedDelta(0.25),
+                constants,
+            );
+            for (low, high) in [(0, 500), (2_000, 4_000), (9_999, 9_999), (7_000, 7_500)] {
+                let got = index.query(low, high);
+                assert_eq!(
+                    got.scan_result(),
+                    reference.query(low, high),
+                    "{algo} [{low},{high}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_budget_builder_produces_working_indexes() {
+        let column = Arc::new(random_column(2_000, 2_000, 78));
+        let reference = ReferenceIndex::new(&column);
+        for algo in AlgorithmId::PROGRESSIVE {
+            let mut index =
+                algo.build_with_default_budget(Arc::clone(&column), CostConstants::synthetic());
+            let got = index.query(100, 900);
+            assert_eq!(got.scan_result(), reference.query(100, 900), "{algo}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! Every experiment binary prints two artefacts: a human-readable aligned
+//! table (mirroring the corresponding table or figure of the paper) and a
+//! machine-readable CSV block that downstream plotting scripts can consume
+//! directly.
+
+/// A simple table: a header row plus data rows of equal width.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when the row width does not match the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an aligned, human-readable table.
+    pub fn to_aligned_string(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the same content as CSV (comma-separated, no quoting — the
+    /// experiment output never contains commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with a precision appropriate for the
+/// value (the paper mixes seconds and sub-millisecond values in one
+/// table).
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0".to_string()
+    } else if seconds >= 0.1 {
+        format!("{seconds:.2}")
+    } else if seconds >= 1e-4 {
+        format!("{seconds:.4}")
+    } else {
+        format!("{seconds:.2e}")
+    }
+}
+
+/// Formats a variance the way the paper's robustness tables do
+/// (scientific notation below 0.01).
+pub fn fmt_variance(variance: f64) -> String {
+    if variance == 0.0 {
+        "0".to_string()
+    } else if variance >= 0.01 {
+        format!("{variance:.2}")
+    } else {
+        format!("{variance:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_table_lines_have_consistent_columns() {
+        let mut t = Table::new(["algo", "first", "total"]);
+        t.push_row(["PQ", "0.15", "19.0"]);
+        t.push_row(["AA", "1.4", "20.7"]);
+        let s = t.to_aligned_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].starts_with("PQ"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_round_trips_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_is_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn second_formatting_adapts_precision() {
+        assert_eq!(fmt_seconds(0.0), "0");
+        assert_eq!(fmt_seconds(1.5), "1.50");
+        assert_eq!(fmt_seconds(0.01234), "0.0123");
+        assert_eq!(fmt_seconds(3.0e-6), "3.00e-6");
+    }
+
+    #[test]
+    fn variance_formatting_matches_paper_style() {
+        assert_eq!(fmt_variance(0.0), "0");
+        assert_eq!(fmt_variance(0.02), "0.02");
+        assert_eq!(fmt_variance(2.4e-4), "2.4e-4");
+    }
+}

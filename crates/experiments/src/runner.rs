@@ -1,0 +1,176 @@
+//! The workload runner: executes a query sequence against an index and
+//! records per-query measurements.
+
+use std::time::Instant;
+
+use pi_core::result::Phase;
+use pi_core::RangeIndex;
+use pi_workloads::RangeQuery;
+
+/// Measurement of a single query execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    /// 0-based query number within the workload.
+    pub query_number: usize,
+    /// Wall-clock execution time in seconds (query answering plus the
+    /// indexing work performed as a side effect).
+    pub seconds: f64,
+    /// Aggregate returned by the query (for correctness cross-checks).
+    pub sum: u128,
+    /// Number of qualifying rows.
+    pub count: u64,
+    /// Phase the index was in when the query started.
+    pub phase: Phase,
+    /// δ used by this query (0 for baselines).
+    pub delta: f64,
+    /// Cost-model prediction for this query, when the algorithm has one.
+    pub predicted_seconds: Option<f64>,
+    /// Indexing operations (copies/swaps/appends) done by this query.
+    pub indexing_ops: u64,
+    /// Elements read to answer this query.
+    pub elements_scanned: u64,
+}
+
+/// A complete workload execution over one index.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// The `RangeIndex::name()` of the index that was measured.
+    pub index_name: String,
+    /// Per-query measurements, in execution order.
+    pub records: Vec<QueryRecord>,
+    /// Query number (0-based) at which the index first reported
+    /// convergence, if it ever did.
+    pub converged_at: Option<usize>,
+}
+
+impl WorkloadRun {
+    /// Total wall-clock time of the workload in seconds.
+    pub fn cumulative_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Wall-clock time of the first query in seconds (0 for an empty
+    /// workload).
+    pub fn first_query_seconds(&self) -> f64 {
+        self.records.first().map(|r| r.seconds).unwrap_or(0.0)
+    }
+
+    /// Per-query times in seconds.
+    pub fn times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.seconds).collect()
+    }
+
+    /// Number of queries executed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no queries were executed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Runs `queries` against `index`, measuring each query.
+pub fn run_workload(index: &mut dyn RangeIndex, queries: &[RangeQuery]) -> WorkloadRun {
+    let mut records = Vec::with_capacity(queries.len());
+    let mut converged_at = None;
+    for (query_number, q) in queries.iter().enumerate() {
+        let start = Instant::now();
+        let result = index.query(q.low, q.high);
+        let seconds = start.elapsed().as_secs_f64();
+        records.push(QueryRecord {
+            query_number,
+            seconds,
+            sum: result.sum,
+            count: result.count,
+            phase: result.phase,
+            delta: result.delta,
+            predicted_seconds: result.predicted_cost,
+            indexing_ops: result.indexing_ops,
+            elements_scanned: result.elements_scanned,
+        });
+        if converged_at.is_none() && index.is_converged() {
+            converged_at = Some(query_number);
+        }
+    }
+    WorkloadRun {
+        index_name: index.name().to_string(),
+        records,
+        converged_at,
+    }
+}
+
+/// Runs `queries` against `index` while verifying every answer against a
+/// reference oracle; panics on the first mismatch. Used by integration
+/// tests and by experiments run with verification enabled.
+pub fn run_workload_verified(
+    index: &mut dyn RangeIndex,
+    queries: &[RangeQuery],
+    reference: &pi_core::testing::ReferenceIndex,
+) -> WorkloadRun {
+    let run = run_workload(index, queries);
+    for (record, query) in run.records.iter().zip(queries) {
+        let expected = reference.query(query.low, query.high);
+        assert_eq!(
+            (record.sum, record.count),
+            (expected.sum, expected.count),
+            "{}: wrong answer for query #{} [{}, {}]",
+            run.index_name,
+            record.query_number,
+            query.low,
+            query.high
+        );
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::budget::BudgetPolicy;
+    use pi_core::testing::{random_column, ReferenceIndex};
+    use pi_core::ProgressiveQuicksort;
+    use std::sync::Arc;
+
+    fn small_workload() -> Vec<RangeQuery> {
+        (0..50).map(|i| RangeQuery::new(i * 100, i * 100 + 500)).collect()
+    }
+
+    #[test]
+    fn runner_records_every_query() {
+        let column = Arc::new(random_column(10_000, 10_000, 5));
+        let mut index =
+            ProgressiveQuicksort::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.25));
+        let queries = small_workload();
+        let run = run_workload(&mut index, &queries);
+        assert_eq!(run.len(), queries.len());
+        assert_eq!(run.index_name, "progressive-quicksort");
+        assert!(run.records.iter().all(|r| r.seconds >= 0.0));
+        assert!(run.cumulative_seconds() >= run.first_query_seconds());
+        // δ = 0.25 converges in a handful of queries on a small column.
+        assert!(run.converged_at.is_some());
+    }
+
+    #[test]
+    fn verified_runner_accepts_correct_index() {
+        let column = Arc::new(random_column(5_000, 5_000, 6));
+        let reference = ReferenceIndex::new(&column);
+        let mut index =
+            ProgressiveQuicksort::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.5));
+        let queries = small_workload();
+        let run = run_workload_verified(&mut index, &queries, &reference);
+        assert_eq!(run.len(), queries.len());
+    }
+
+    #[test]
+    fn empty_workload_produces_empty_run() {
+        let column = Arc::new(random_column(100, 100, 7));
+        let mut index = ProgressiveQuicksort::new(column, BudgetPolicy::FixedDelta(0.5));
+        let run = run_workload(&mut index, &[]);
+        assert!(run.is_empty());
+        assert_eq!(run.cumulative_seconds(), 0.0);
+        assert_eq!(run.first_query_seconds(), 0.0);
+        assert_eq!(run.converged_at, None);
+    }
+}

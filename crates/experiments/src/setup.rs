@@ -1,0 +1,100 @@
+//! Shared experiment setup: building the columns and query logs each
+//! experiment runs over, at a configurable scale.
+
+use std::sync::Arc;
+
+use pi_storage::Column;
+use pi_workloads::skyserver::{self, SkyServerConfig};
+use pi_workloads::{data, patterns, Distribution, Pattern, RangeQuery, WorkloadSpec};
+
+use crate::scale::Scale;
+
+/// A column plus the query log to run over it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (used in experiment output).
+    pub name: String,
+    /// The data column.
+    pub column: Arc<Column>,
+    /// The query sequence.
+    pub queries: Vec<RangeQuery>,
+}
+
+impl Workload {
+    /// The SkyServer-substitute workload (Figure 5) at the given scale.
+    pub fn skyserver(scale: Scale) -> Self {
+        let generated =
+            skyserver::generate(SkyServerConfig::scaled(scale.column_size, scale.query_count));
+        Workload {
+            name: "skyserver".to_string(),
+            column: Arc::new(Column::from_vec(generated.data)),
+            queries: generated.queries,
+        }
+    }
+
+    /// A synthetic workload: `distribution` data, `pattern` queries, 10%
+    /// selectivity range queries (or point queries).
+    pub fn synthetic(
+        distribution: Distribution,
+        pattern: Pattern,
+        scale: Scale,
+        point_queries: bool,
+    ) -> Self {
+        let values = data::generate(distribution, scale.column_size, 0xDA7A);
+        let domain = scale.column_size as u64;
+        let spec = if point_queries {
+            WorkloadSpec::point(domain, scale.query_count)
+        } else {
+            WorkloadSpec::range(domain, scale.query_count)
+        };
+        let queries = patterns::generate(pattern, &spec);
+        Workload {
+            name: format!(
+                "{}-{}{}",
+                distribution.label(),
+                pattern.label(),
+                if point_queries { "-point" } else { "" }
+            ),
+            column: Arc::new(Column::from_vec(values)),
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skyserver_workload_has_requested_scale() {
+        let w = Workload::skyserver(Scale::TINY);
+        assert_eq!(w.column.len(), Scale::TINY.column_size);
+        assert_eq!(w.queries.len(), Scale::TINY.query_count);
+        assert_eq!(w.name, "skyserver");
+    }
+
+    #[test]
+    fn synthetic_workload_covers_all_pattern_distribution_combinations() {
+        for distribution in [Distribution::UniformRandom, Distribution::Skewed] {
+            for pattern in Pattern::ALL {
+                let w = Workload::synthetic(distribution, pattern, Scale::TINY, false);
+                assert_eq!(w.column.len(), Scale::TINY.column_size);
+                assert_eq!(w.queries.len(), Scale::TINY.query_count);
+                let domain = Scale::TINY.column_size as u64;
+                assert!(w.queries.iter().all(|q| q.high < domain));
+            }
+        }
+    }
+
+    #[test]
+    fn point_workloads_generate_point_queries() {
+        let w = Workload::synthetic(
+            Distribution::UniformRandom,
+            Pattern::Random,
+            Scale::TINY,
+            true,
+        );
+        assert!(w.queries.iter().all(RangeQuery::is_point));
+        assert!(w.name.ends_with("-point"));
+    }
+}

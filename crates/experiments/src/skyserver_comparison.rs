@@ -1,0 +1,145 @@
+//! Table 2 and Figure 10: the full SkyServer comparison of baselines,
+//! adaptive indexing and progressive indexing.
+//!
+//! Table 2 reports, per technique: first-query time, convergence query,
+//! robustness (variance of the first 100 query times) and cumulative
+//! workload time. Figure 10 plots the per-query time series of
+//! Progressive Quicksort against the best adaptive techniques (Adaptive
+//! Adaptive Indexing and Progressive Stochastic Cracking 10%).
+
+use pi_core::cost_model::CostConstants;
+
+use crate::metrics::Metrics;
+use crate::registry::AlgorithmId;
+use crate::report::{fmt_seconds, fmt_variance, Table};
+use crate::runner::{run_workload, WorkloadRun};
+use crate::scale::{measure_scan_seconds, Scale};
+use crate::setup::Workload;
+
+/// Result of the comparison: per-algorithm metrics plus the raw runs
+/// needed for the Figure 10 time series.
+#[derive(Debug, Clone)]
+pub struct SkyServerComparison {
+    /// Measured cost of one full column scan (anchors pay-off and the
+    /// "1.2× scan" line of Figure 10).
+    pub scan_seconds: f64,
+    /// Metrics per algorithm, in [`AlgorithmId::ALL`] order (restricted to
+    /// the algorithms that were run).
+    pub results: Vec<(AlgorithmId, Metrics)>,
+    /// Full per-query runs, for time-series output.
+    pub runs: Vec<(AlgorithmId, WorkloadRun)>,
+}
+
+/// Runs the SkyServer workload over `algorithms` at `scale`.
+pub fn run(scale: Scale, algorithms: &[AlgorithmId]) -> SkyServerComparison {
+    let workload = Workload::skyserver(scale);
+    let constants = CostConstants::calibrate();
+    let scan_seconds = measure_scan_seconds(&workload.column, 3);
+    let mut results = Vec::new();
+    let mut runs = Vec::new();
+    for &algorithm in algorithms {
+        let mut index =
+            algorithm.build_with_default_budget(workload.column.clone(), constants);
+        let run = run_workload(index.as_mut(), &workload.queries);
+        results.push((algorithm, Metrics::from_run(&run, scan_seconds)));
+        runs.push((algorithm, run));
+    }
+    SkyServerComparison {
+        scan_seconds,
+        results,
+        runs,
+    }
+}
+
+/// Runs the full Table 2 algorithm set.
+pub fn run_all(scale: Scale) -> SkyServerComparison {
+    run(scale, &AlgorithmId::ALL)
+}
+
+/// Renders Table 2.
+pub fn table2(comparison: &SkyServerComparison) -> Table {
+    let mut table = Table::new([
+        "index",
+        "first_query_s",
+        "convergence_query",
+        "robustness_var",
+        "cumulative_s",
+    ]);
+    for (algorithm, metrics) in &comparison.results {
+        table.push_row([
+            algorithm.label().to_string(),
+            fmt_seconds(metrics.first_query_seconds),
+            metrics.convergence_label(),
+            fmt_variance(metrics.robustness_variance),
+            fmt_seconds(metrics.cumulative_seconds),
+        ]);
+    }
+    table
+}
+
+/// Renders the Figure 10 per-query time series
+/// (`algorithm,query,seconds`) for the selected algorithms.
+pub fn figure10_series(comparison: &SkyServerComparison, algorithms: &[AlgorithmId]) -> Table {
+    let mut table = Table::new(["algorithm", "query", "seconds"]);
+    for (algorithm, run) in &comparison.runs {
+        if !algorithms.contains(algorithm) {
+            continue;
+        }
+        for record in &run.records {
+            table.push_row([
+                algorithm.label().to_string(),
+                (record.query_number + 1).to_string(),
+                format!("{:.3e}", record.seconds),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_comparison() -> SkyServerComparison {
+        run(
+            Scale::TINY,
+            &[
+                AlgorithmId::FullScan,
+                AlgorithmId::FullIndex,
+                AlgorithmId::StandardCracking,
+                AlgorithmId::AdaptiveAdaptive,
+                AlgorithmId::ProgressiveQuicksort,
+                AlgorithmId::ProgressiveRadixsortMsd,
+            ],
+        )
+    }
+
+    #[test]
+    fn comparison_produces_metrics_for_every_algorithm() {
+        let c = quick_comparison();
+        assert_eq!(c.results.len(), 6);
+        assert!(c.scan_seconds > 0.0);
+        let t = table2(&c);
+        assert_eq!(t.row_count(), 6);
+    }
+
+    #[test]
+    fn full_index_converges_first_and_full_scan_never() {
+        let c = quick_comparison();
+        let find = |id: AlgorithmId| c.results.iter().find(|(a, _)| *a == id).unwrap().1;
+        assert_eq!(find(AlgorithmId::FullIndex).convergence_query, Some(1));
+        assert_eq!(find(AlgorithmId::FullScan).convergence_query, None);
+        // The progressive techniques converge on this small workload.
+        assert!(find(AlgorithmId::ProgressiveQuicksort).convergence_query.is_some());
+    }
+
+    #[test]
+    fn figure10_series_contains_only_requested_algorithms() {
+        let c = quick_comparison();
+        let series = figure10_series(
+            &c,
+            &[AlgorithmId::ProgressiveQuicksort, AlgorithmId::AdaptiveAdaptive],
+        );
+        assert_eq!(series.row_count(), 2 * Scale::TINY.query_count);
+    }
+}

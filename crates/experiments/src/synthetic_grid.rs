@@ -1,0 +1,229 @@
+//! Tables 3, 4 and 5: the synthetic workload grid.
+//!
+//! The paper evaluates the four progressive algorithms plus adaptive
+//! adaptive indexing (the strongest adaptive baseline) over four
+//! experiment blocks — uniform random data, skewed data, point queries on
+//! uniform data, and a larger uniform column — crossed with the synthetic
+//! workload patterns of Figure 6. Three metrics are reported per cell:
+//! the first-query cost (Table 3), the cumulative workload time (Table 4)
+//! and the robustness variance (Table 5). One grid run produces all
+//! three tables.
+
+use pi_core::cost_model::CostConstants;
+use pi_workloads::{Distribution, Pattern};
+
+use crate::metrics::Metrics;
+use crate::registry::AlgorithmId;
+use crate::report::{fmt_seconds, fmt_variance, Table};
+use crate::runner::run_workload;
+use crate::scale::{measure_scan_seconds, Scale};
+use crate::setup::Workload;
+
+/// The four experiment blocks of the synthetic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Block {
+    /// 10% selectivity range queries over uniformly random data.
+    UniformRandom,
+    /// 10% selectivity range queries over skewed data.
+    Skewed,
+    /// Point queries over uniformly random data.
+    PointQuery,
+    /// Range queries over a larger uniformly random column (the paper's
+    /// 10^9 block; the reproduction scales it relative to the base size).
+    Large,
+}
+
+impl Block {
+    /// All four blocks in the paper's table order.
+    pub const ALL: [Block; 4] = [
+        Block::UniformRandom,
+        Block::Skewed,
+        Block::PointQuery,
+        Block::Large,
+    ];
+
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Block::UniformRandom => "uniform-random",
+            Block::Skewed => "skewed",
+            Block::PointQuery => "point-query",
+            Block::Large => "large",
+        }
+    }
+
+    /// The workload patterns this block runs (the point-query block skips
+    /// the zooming patterns, the large block uses the paper's reduced
+    /// pattern set).
+    pub fn patterns(self) -> &'static [Pattern] {
+        match self {
+            Block::PointQuery => &Pattern::POINT_QUERY_PATTERNS,
+            Block::Large => &[Pattern::SeqOver, Pattern::Skew, Pattern::Random],
+            _ => &Pattern::ALL,
+        }
+    }
+
+    fn distribution(self) -> Distribution {
+        match self {
+            Block::Skewed => Distribution::Skewed,
+            _ => Distribution::UniformRandom,
+        }
+    }
+
+    fn point_queries(self) -> bool {
+        matches!(self, Block::PointQuery)
+    }
+
+    fn scale(self, base: Scale) -> Scale {
+        match self {
+            // The paper's fourth block is 10× the base data size; keep the
+            // same ratio at reproduction scale.
+            Block::Large => Scale {
+                column_size: base.column_size * 10,
+                query_count: base.query_count,
+            },
+            _ => base,
+        }
+    }
+}
+
+impl std::fmt::Display for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The algorithms compared in Tables 3–5.
+pub const GRID_ALGORITHMS: [AlgorithmId; 5] = [
+    AlgorithmId::ProgressiveQuicksort,
+    AlgorithmId::ProgressiveBucketsort,
+    AlgorithmId::ProgressiveRadixsortLsd,
+    AlgorithmId::ProgressiveRadixsortMsd,
+    AlgorithmId::AdaptiveAdaptive,
+];
+
+/// One cell of the synthetic grid: a (block, pattern, algorithm) triple
+/// and its metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCell {
+    /// Experiment block.
+    pub block: Block,
+    /// Workload pattern.
+    pub pattern: Pattern,
+    /// Algorithm measured.
+    pub algorithm: AlgorithmId,
+    /// Metrics of the run.
+    pub metrics: Metrics,
+}
+
+/// Runs the full grid (all blocks × patterns × algorithms) at `base`
+/// scale.
+pub fn run(base: Scale, blocks: &[Block]) -> Vec<GridCell> {
+    let constants = CostConstants::calibrate();
+    let mut cells = Vec::new();
+    for &block in blocks {
+        let scale = block.scale(base);
+        for &pattern in block.patterns() {
+            let workload =
+                Workload::synthetic(block.distribution(), pattern, scale, block.point_queries());
+            let scan_seconds = measure_scan_seconds(&workload.column, 2);
+            for algorithm in GRID_ALGORITHMS {
+                let mut index =
+                    algorithm.build_with_default_budget(workload.column.clone(), constants);
+                let run = run_workload(index.as_mut(), &workload.queries);
+                cells.push(GridCell {
+                    block,
+                    pattern,
+                    algorithm,
+                    metrics: Metrics::from_run(&run, scan_seconds),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Which of the three paper tables to render from the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridMetric {
+    /// Table 3 — first-query cost in seconds.
+    FirstQuery,
+    /// Table 4 — cumulative workload time in seconds.
+    Cumulative,
+    /// Table 5 — robustness (variance of the first 100 query times).
+    Robustness,
+}
+
+impl GridMetric {
+    fn extract(self, metrics: &Metrics) -> String {
+        match self {
+            GridMetric::FirstQuery => fmt_seconds(metrics.first_query_seconds),
+            GridMetric::Cumulative => fmt_seconds(metrics.cumulative_seconds),
+            GridMetric::Robustness => fmt_variance(metrics.robustness_variance),
+        }
+    }
+}
+
+/// Renders one of the paper's tables: a row per (block, pattern), a column
+/// per algorithm.
+pub fn to_table(cells: &[GridCell], metric: GridMetric) -> Table {
+    let mut headers = vec!["block".to_string(), "workload".to_string()];
+    headers.extend(GRID_ALGORITHMS.iter().map(|a| a.label().to_string()));
+    let mut table = Table::new(headers);
+    for &block in Block::ALL.iter() {
+        for &pattern in block.patterns() {
+            let mut row = vec![block.label().to_string(), pattern.label().to_string()];
+            let mut any = false;
+            for algorithm in GRID_ALGORITHMS {
+                let cell = cells.iter().find(|c| {
+                    c.block == block && c.pattern == pattern && c.algorithm == algorithm
+                });
+                match cell {
+                    Some(c) => {
+                        row.push(metric.extract(&c.metrics));
+                        any = true;
+                    }
+                    None => row.push(String::new()),
+                }
+            }
+            if any {
+                table.push_row(row);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_one_block_end_to_end() {
+        let tiny = Scale {
+            column_size: 10_000,
+            query_count: 30,
+        };
+        let cells = run(tiny, &[Block::PointQuery]);
+        assert_eq!(
+            cells.len(),
+            Block::PointQuery.patterns().len() * GRID_ALGORITHMS.len()
+        );
+        for metric in [GridMetric::FirstQuery, GridMetric::Cumulative, GridMetric::Robustness] {
+            let table = to_table(&cells, metric);
+            assert_eq!(table.row_count(), Block::PointQuery.patterns().len());
+        }
+    }
+
+    #[test]
+    fn blocks_expose_expected_pattern_sets() {
+        assert_eq!(Block::UniformRandom.patterns().len(), 8);
+        assert_eq!(Block::PointQuery.patterns().len(), 6);
+        assert_eq!(Block::Large.patterns().len(), 3);
+        assert!(Block::PointQuery.point_queries());
+        assert!(!Block::Skewed.point_queries());
+        assert_eq!(Block::Skewed.distribution(), Distribution::Skewed);
+        let scaled = Block::Large.scale(Scale::TINY);
+        assert_eq!(scaled.column_size, Scale::TINY.column_size * 10);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pi-storage — columnar storage substrate for progressive indexing
+//!
+//! This crate provides the storage layer that the progressive indexing
+//! algorithms of `pi-core` and the adaptive indexing baselines of
+//! `pi-cracking` are built on:
+//!
+//! * [`Column`] — an immutable, in-memory column of fixed-width unsigned
+//!   integers (the paper evaluates on 8-byte integer columns such as the
+//!   SkyServer `Right Ascension` attribute scaled to integers).
+//! * [`scan`] — predicated (branch-free) and branching full-column scans,
+//!   the building block of the *Full Scan* baseline and of the partial
+//!   scans every progressive index performs during its creation phase.
+//! * [`sorted`] — branchless binary-search primitives over sorted runs.
+//! * [`btree`] — a bulk-loaded, cache-friendly static B+-tree over a sorted
+//!   array, the target structure of the *consolidation phase* and the
+//!   *Full Index* baseline. Construction can be performed incrementally so
+//!   that a progressive index can spread the build cost over many queries.
+//!
+//! The crate is deliberately dependency-free and single-threaded: the
+//! progressive indexing model performs indexing work inside the query
+//! thread, bounded by a per-query budget.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pi_storage::{Column, scan};
+//!
+//! let col = Column::from_vec(vec![5, 1, 9, 3, 7]);
+//! // SELECT SUM(a) WHERE a BETWEEN 3 AND 7
+//! let result = scan::scan_range_sum(col.data(), 3, 7);
+//! assert_eq!(result.sum, 5 + 3 + 7);
+//! assert_eq!(result.count, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btree;
+pub mod column;
+pub mod scan;
+pub mod sorted;
+
+pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
+pub use column::{Column, Value};
+pub use scan::ScanResult;

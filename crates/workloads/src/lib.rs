@@ -1,0 +1,41 @@
+//! # pi-workloads — data sets and query workloads
+//!
+//! Generators for everything Section 4.1 of the Progressive Indexes paper
+//! evaluates on:
+//!
+//! * [`data`] — the synthetic column distributions: uniformly random
+//!   unique integers and a skewed distribution with 90% of the values in
+//!   the middle of the domain.
+//! * [`patterns`] — the eight synthetic query patterns of Figure 6
+//!   (SeqOver, ZoomOutAlt, Skew, Random, SeqZoomIn, Periodic, ZoomInAlt,
+//!   ZoomIn), as range- or point-query workloads.
+//! * [`skyserver`] — a synthetic substitute for the SkyServer benchmark of
+//!   Figure 5: a clustered, multi-modal data distribution plus a
+//!   dwell-drift-jump query log.
+//!
+//! All generators are deterministic given a seed, and all sizes are
+//! parameters so the same code scales from unit tests to full experiment
+//! runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use pi_workloads::data::{generate, Distribution};
+//! use pi_workloads::patterns::{self, Pattern, WorkloadSpec};
+//!
+//! let column = generate(Distribution::UniformRandom, 10_000, 42);
+//! let queries = patterns::generate(Pattern::SeqOver, &WorkloadSpec::range(10_000, 100));
+//! assert_eq!(column.len(), 10_000);
+//! assert_eq!(queries.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod patterns;
+pub mod skyserver;
+
+pub use data::Distribution;
+pub use patterns::{Pattern, RangeQuery, WorkloadSpec};
+pub use skyserver::{SkyServerConfig, SkyServerWorkload};

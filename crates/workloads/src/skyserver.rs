@@ -1,0 +1,261 @@
+//! A SkyServer-like workload (Section 4.1, Figure 5 of the paper).
+//!
+//! The paper's real-world benchmark uses the Sloan Digital Sky Survey:
+//! range queries from the public SkyServer query log applied to the
+//! *Right Ascension* column of `PhotoObjAll` (~600 million rows, ~160,000
+//! queries). Neither the data nor the log ships with this repository, so
+//! this module generates a synthetic substitute that preserves the two
+//! properties the indexing algorithms are sensitive to:
+//!
+//! 1. **Data distribution** (Figure 5a): right ascension is not uniform —
+//!    observations cluster around the survey's scan stripes. The generator
+//!    produces a multi-modal mixture of Gaussian-like clusters over the
+//!    domain with a uniform background.
+//! 2. **Query pattern** (Figure 5b): the query log dwells on one region of
+//!    the sky for a stretch of queries, drifts slowly within it, then
+//!    jumps to a different region. The generator produces exactly that
+//!    dwell-drift-jump structure.
+//!
+//! Scale is a parameter: the defaults target laptop-scale runs
+//! (10^6 elements, 10^4 queries), and the experiment binaries accept
+//! larger sizes to approach the paper's setting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Value;
+use crate::patterns::RangeQuery;
+
+/// Configuration of the synthetic SkyServer substitute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkyServerConfig {
+    /// Number of column elements to generate.
+    pub column_size: usize,
+    /// Number of queries in the workload.
+    pub query_count: usize,
+    /// Value domain `[0, domain)` (the paper's right-ascension values are
+    /// mapped onto an integer domain).
+    pub domain: u64,
+    /// Number of value clusters ("scan stripes") in the data distribution.
+    pub clusters: usize,
+    /// Number of focus regions the query log visits.
+    pub focus_regions: usize,
+    /// Fraction of the domain a single range query covers on average.
+    pub query_width_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkyServerConfig {
+    fn default() -> Self {
+        SkyServerConfig {
+            column_size: 1_000_000,
+            query_count: 10_000,
+            domain: 1_000_000,
+            clusters: 12,
+            focus_regions: 20,
+            query_width_fraction: 0.02,
+            seed: 0x5C1,
+        }
+    }
+}
+
+impl SkyServerConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        SkyServerConfig {
+            column_size: 50_000,
+            query_count: 500,
+            domain: 100_000,
+            clusters: 6,
+            focus_regions: 8,
+            query_width_fraction: 0.02,
+            seed: 0x5C1,
+        }
+    }
+
+    /// Scales column size and query count relative to the default
+    /// configuration, keeping the shape parameters.
+    pub fn scaled(column_size: usize, query_count: usize) -> Self {
+        SkyServerConfig {
+            column_size,
+            query_count,
+            domain: column_size.max(2) as u64,
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated workload: the column data and the query log.
+#[derive(Debug, Clone)]
+pub struct SkyServerWorkload {
+    /// Column values (multi-modal, clustered distribution).
+    pub data: Vec<Value>,
+    /// Query log (dwell-drift-jump range queries).
+    pub queries: Vec<RangeQuery>,
+    /// The configuration that produced this workload.
+    pub config: SkyServerConfig,
+}
+
+/// Generates the SkyServer-like data column and query log.
+pub fn generate(config: SkyServerConfig) -> SkyServerWorkload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let data = generate_data(&config, &mut rng);
+    let queries = generate_queries(&config, &mut rng);
+    SkyServerWorkload {
+        data,
+        queries,
+        config,
+    }
+}
+
+/// Multi-modal data distribution: a mixture of `clusters` Gaussian-like
+/// clusters (centres spread over the domain, widths a few percent of the
+/// domain) plus a 10% uniform background.
+fn generate_data(config: &SkyServerConfig, rng: &mut StdRng) -> Vec<Value> {
+    let domain = config.domain.max(2);
+    let clusters = config.clusters.max(1);
+    // Cluster centres roughly evenly spaced but jittered, with random
+    // weights so some "stripes" are denser than others (as in Fig. 5a).
+    let mut centres = Vec::with_capacity(clusters);
+    let mut weights = Vec::with_capacity(clusters);
+    for i in 0..clusters {
+        let base = domain * (2 * i as u64 + 1) / (2 * clusters as u64);
+        let jitter_span = (domain / (4 * clusters as u64)).max(1);
+        let jitter = rng.gen_range(0..jitter_span);
+        centres.push((base + jitter).min(domain - 1));
+        weights.push(rng.gen_range(1..=4u32));
+    }
+    let total_weight: u32 = weights.iter().sum();
+    let sigma = (domain / (6 * clusters as u64)).max(1);
+
+    let mut data = Vec::with_capacity(config.column_size);
+    for _ in 0..config.column_size {
+        if rng.gen::<f64>() < 0.1 {
+            data.push(rng.gen_range(0..domain));
+            continue;
+        }
+        // Pick a cluster proportionally to its weight.
+        let mut pick = rng.gen_range(0..total_weight);
+        let mut cluster = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w {
+                cluster = i;
+                break;
+            }
+            pick -= w;
+        }
+        // Approximate a Gaussian around the centre with the sum of three
+        // uniform draws (Irwin–Hall), cheap and fully deterministic.
+        let spread = sigma * 3;
+        let offset: i64 = (0..3)
+            .map(|_| rng.gen_range(0..=2 * spread) as i64 - spread as i64)
+            .sum::<i64>()
+            / 3;
+        let value = centres[cluster] as i64 + offset;
+        data.push(value.clamp(0, domain as i64 - 1) as Value);
+    }
+    data
+}
+
+/// Dwell-drift-jump query log: the workload dwells on a focus region for a
+/// stretch of queries, drifting slowly within it, then jumps to the next
+/// focus region (as in Fig. 5b).
+fn generate_queries(config: &SkyServerConfig, rng: &mut StdRng) -> Vec<RangeQuery> {
+    let domain = config.domain.max(2);
+    let width = ((domain as f64 * config.query_width_fraction) as u64).clamp(1, domain - 1);
+    let regions = config.focus_regions.max(1);
+    let per_region = (config.query_count / regions).max(1);
+    let mut queries = Vec::with_capacity(config.query_count);
+
+    let mut region_centre = rng.gen_range(0..domain);
+    let drift = (domain / 200).max(1);
+    for i in 0..config.query_count {
+        if i % per_region == 0 {
+            // Jump to a new focus region.
+            region_centre = rng.gen_range(0..domain);
+        } else {
+            // Drift slowly within the current region.
+            let step = rng.gen_range(0..=drift);
+            region_centre = if rng.gen::<bool>() {
+                region_centre.saturating_add(step).min(domain - 1)
+            } else {
+                region_centre.saturating_sub(step)
+            };
+        }
+        let jitter = rng.gen_range(0..=width / 2);
+        let low = region_centre.saturating_sub(width / 2 + jitter);
+        let low = low.min(domain - width);
+        queries.push(RangeQuery::new(low, low + width - 1));
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sizes_match_config() {
+        let w = generate(SkyServerConfig::tiny());
+        assert_eq!(w.data.len(), w.config.column_size);
+        assert_eq!(w.queries.len(), w.config.query_count);
+        assert!(w.data.iter().all(|&v| v < w.config.domain));
+        assert!(w.queries.iter().all(|q| q.high < w.config.domain));
+    }
+
+    #[test]
+    fn data_distribution_is_not_uniform() {
+        let w = generate(SkyServerConfig::tiny());
+        // Split the domain into 20 histogram bins; a clustered distribution
+        // must have markedly uneven bins.
+        let bins = 20usize;
+        let mut histogram = vec![0usize; bins];
+        for &v in &w.data {
+            let b = (v as u128 * bins as u128 / w.config.domain as u128) as usize;
+            histogram[b.min(bins - 1)] += 1;
+        }
+        let max = *histogram.iter().max().unwrap();
+        let min = *histogram.iter().min().unwrap();
+        assert!(
+            max > 2 * min.max(1),
+            "expected a clustered histogram, got {histogram:?}"
+        );
+    }
+
+    #[test]
+    fn query_log_dwells_before_jumping() {
+        let w = generate(SkyServerConfig::tiny());
+        // Consecutive queries within a dwell move by much less than the
+        // domain; count how many "big jumps" occur — it should be roughly
+        // the number of focus regions, far fewer than the query count.
+        let domain = w.config.domain;
+        let big_jumps = w
+            .queries
+            .windows(2)
+            .filter(|p| {
+                let a = p[0].low as i64;
+                let b = p[1].low as i64;
+                (a - b).unsigned_abs() > domain / 10
+            })
+            .count();
+        assert!(big_jumps < w.queries.len() / 5, "{big_jumps} jumps");
+        assert!(big_jumps >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(SkyServerConfig::tiny());
+        let b = generate(SkyServerConfig::tiny());
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn scaled_config_adjusts_domain() {
+        let c = SkyServerConfig::scaled(5_000, 100);
+        assert_eq!(c.column_size, 5_000);
+        assert_eq!(c.query_count, 100);
+        assert_eq!(c.domain, 5_000);
+    }
+}

@@ -1,0 +1,73 @@
+//! Compare every indexing technique on the same workload and ask the
+//! decision tree which progressive index fits the scenario.
+//!
+//! Runs a zoom-in exploration over skewed data — the situation where the
+//! trade-offs between full scans, full indexes, cracking and progressive
+//! indexing are most visible — and prints a Table-2-style summary.
+//!
+//! ```bash
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use pi_experiments::metrics::Metrics;
+use pi_experiments::registry::AlgorithmId;
+use pi_experiments::report::{fmt_seconds, fmt_variance, Table};
+use pi_experiments::runner::run_workload;
+use pi_experiments::scale::{measure_scan_seconds, Scale};
+use pi_experiments::setup::Workload;
+use progressive_indexes::index::cost_model::CostConstants;
+use progressive_indexes::index::decision::{
+    recommend, DataDistribution, QueryShape, Scenario,
+};
+use progressive_indexes::workloads::{Distribution, Pattern};
+
+fn main() {
+    let scale = Scale {
+        column_size: 500_000,
+        query_count: 300,
+    };
+    let workload = Workload::synthetic(Distribution::Skewed, Pattern::ZoomIn, scale, false);
+    let constants = CostConstants::calibrate();
+    let scan_seconds = measure_scan_seconds(&workload.column, 3);
+
+    println!(
+        "workload: {} — {} rows, {} zoom-in range queries over skewed data\n",
+        workload.name,
+        workload.column.len(),
+        workload.queries.len()
+    );
+
+    let mut table = Table::new([
+        "index",
+        "first_query_s",
+        "payoff_query",
+        "convergence_query",
+        "robustness_var",
+        "cumulative_s",
+    ]);
+    for algorithm in AlgorithmId::ALL {
+        let mut index =
+            algorithm.build_with_default_budget(workload.column.clone(), constants);
+        let run = run_workload(index.as_mut(), &workload.queries);
+        let metrics = Metrics::from_run(&run, scan_seconds);
+        table.push_row([
+            algorithm.label().to_string(),
+            fmt_seconds(metrics.first_query_seconds),
+            metrics.payoff_label(),
+            metrics.convergence_label(),
+            fmt_variance(metrics.robustness_variance),
+            fmt_seconds(metrics.cumulative_seconds),
+        ]);
+    }
+    print!("{}", table.to_aligned_string());
+
+    let scenario = Scenario {
+        query_shape: QueryShape::Range,
+        distribution: DataDistribution::Skewed,
+        extra_memory_allowed: true,
+    };
+    println!(
+        "\ndecision tree (Figure 11) recommends: {} for range queries over skewed data",
+        recommend(scenario)
+    );
+}

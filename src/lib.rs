@@ -1,0 +1,26 @@
+//! # progressive-indexes — facade crate
+//!
+//! Re-exports the whole Progressive Indexing workspace behind a single
+//! dependency, so downstream users can write `progressive_indexes::...`
+//! without tracking the individual member crates:
+//!
+//! * [`storage`] — columns, predicated scans, static B+-tree
+//!   ([`pi_storage`]).
+//! * [`index`] — the four progressive indexing algorithms, cost models,
+//!   indexing budgets and the decision tree ([`pi_core`]).
+//! * [`cracking`] — adaptive-indexing baselines: database cracking and its
+//!   variants, plus full-scan / full-index references ([`pi_cracking`]).
+//! * [`workloads`] — synthetic data and query-pattern generators, including
+//!   the SkyServer-like workload ([`pi_workloads`]).
+//!
+//! See the repository README for a quickstart and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+#![warn(missing_docs)]
+
+pub use pi_cracking as cracking;
+pub use pi_core as index;
+pub use pi_storage as storage;
+pub use pi_workloads as workloads;
+
+pub use pi_core::prelude::*;

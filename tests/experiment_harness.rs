@@ -1,0 +1,114 @@
+//! Smoke tests of the experiment harness at a tiny scale: every
+//! table/figure regenerator must run end-to-end and produce plausibly
+//! shaped output (the full-size runs are driven by the `pi-experiments`
+//! binaries and `cargo bench`).
+
+use pi_experiments::cost_model_validation::{self, BudgetMode};
+use pi_experiments::registry::AlgorithmId;
+use pi_experiments::synthetic_grid::{self, Block, GridMetric};
+use pi_experiments::{delta_sweep, skyserver_comparison, Scale};
+
+// Large enough that the paper's relative orderings (e.g. full index
+// beating full scan on cumulative time) emerge even in a debug build,
+// small enough that the whole smoke test stays fast.
+const TINY: Scale = Scale {
+    column_size: 15_000,
+    query_count: 200,
+};
+
+#[test]
+fn delta_sweep_reproduces_figure7_shape() {
+    let rows = delta_sweep::run(TINY, &[0.05, 1.0]);
+    assert_eq!(rows.len(), 8);
+    // Figure 7d: cumulative time with δ = 1 is no worse than ~the δ = 0.05
+    // cumulative time for every algorithm at this scale — but at minimum
+    // the sweep must produce finite, positive measurements.
+    for row in &rows {
+        assert!(row.metrics.cumulative_seconds > 0.0);
+        assert!(row.metrics.first_query_seconds > 0.0);
+    }
+    let table = delta_sweep::to_table(&rows);
+    assert!(table.to_csv().lines().count() > 8);
+}
+
+#[test]
+fn table2_reproduces_the_headline_comparison() {
+    let comparison = skyserver_comparison::run(
+        TINY,
+        &[
+            AlgorithmId::FullScan,
+            AlgorithmId::FullIndex,
+            AlgorithmId::AdaptiveAdaptive,
+            AlgorithmId::ProgressiveQuicksort,
+        ],
+    );
+    let get = |id: AlgorithmId| {
+        comparison
+            .results
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, m)| *m)
+            .expect("algorithm present")
+    };
+    let fs = get(AlgorithmId::FullScan);
+    let fi = get(AlgorithmId::FullIndex);
+    let aa = get(AlgorithmId::AdaptiveAdaptive);
+    let pq = get(AlgorithmId::ProgressiveQuicksort);
+
+    // Shape of Table 2: the full index pays the most up front but wins on
+    // cumulative time; the full scan is the cheapest first query; adaptive
+    // indexing's first query is far more expensive than progressive
+    // indexing's; progressive indexing converges, adaptive does not.
+    assert!(fi.first_query_seconds > fs.first_query_seconds);
+    assert!(fi.cumulative_seconds < fs.cumulative_seconds);
+    assert!(aa.first_query_seconds > pq.first_query_seconds);
+    assert_eq!(fi.convergence_query, Some(1));
+    assert_eq!(fs.convergence_query, None);
+    assert_eq!(aa.convergence_query, None);
+    assert!(pq.convergence_query.is_some());
+
+    let fig10 = skyserver_comparison::figure10_series(
+        &comparison,
+        &[AlgorithmId::ProgressiveQuicksort, AlgorithmId::AdaptiveAdaptive],
+    );
+    assert_eq!(fig10.row_count(), 2 * TINY.query_count);
+}
+
+#[test]
+fn cost_model_validation_covers_both_budget_modes() {
+    for mode in [BudgetMode::FixedDelta, BudgetMode::Adaptive] {
+        let series = cost_model_validation::run(TINY, mode);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.records.len(), TINY.query_count);
+            assert!(s.records[0].predicted_seconds.is_some(), "{}", s.algorithm);
+        }
+        let summary = cost_model_validation::summary_table(&series);
+        assert_eq!(summary.row_count(), 4);
+    }
+}
+
+#[test]
+fn synthetic_grid_produces_tables_3_to_5() {
+    let cells = synthetic_grid::run(
+        Scale {
+            column_size: 8_000,
+            query_count: 25,
+        },
+        &[Block::UniformRandom, Block::PointQuery],
+    );
+    let expected = (Block::UniformRandom.patterns().len() + Block::PointQuery.patterns().len())
+        * synthetic_grid::GRID_ALGORITHMS.len();
+    assert_eq!(cells.len(), expected);
+    for metric in [
+        GridMetric::FirstQuery,
+        GridMetric::Cumulative,
+        GridMetric::Robustness,
+    ] {
+        let table = synthetic_grid::to_table(&cells, metric);
+        assert_eq!(
+            table.row_count(),
+            Block::UniformRandom.patterns().len() + Block::PointQuery.patterns().len()
+        );
+    }
+}
