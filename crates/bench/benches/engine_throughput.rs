@@ -1,0 +1,112 @@
+//! Serving-engine throughput: queries/second as a function of shard count
+//! (1, 2, 4, 8) and per-query indexing budget δ. The scaling baseline for
+//! future serving-layer PRs (async serving, caching, multi-backend).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pi_bench::BENCH_SCALE;
+use pi_core::budget::BudgetPolicy;
+use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
+use pi_workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
+use pi_workloads::{data, Distribution, WorkloadSpec};
+
+const CLIENT_THREADS: usize = 4;
+const QUERIES_PER_CLIENT: usize = 50;
+
+fn build_executor(rows: usize, shards: usize, delta: f64) -> Executor {
+    let values = data::generate(Distribution::UniformRandom, rows, 31);
+    let table = Arc::new(
+        Table::builder()
+            .column(
+                ColumnSpec::new("a", values)
+                    .with_shards(shards)
+                    .with_policy(BudgetPolicy::FixedDelta(delta)),
+            )
+            .build(),
+    );
+    Executor::with_config(
+        table,
+        ExecutorConfig {
+            worker_threads: shards.min(8),
+            maintenance_steps: 2,
+        },
+    )
+}
+
+/// Runs `CLIENT_THREADS` concurrent clients, each submitting its stream in
+/// batches of ten; returns the total number of queries served.
+fn serve(executor: &Executor, rows: usize) -> usize {
+    let streams = multi_client::generate(&MultiClientSpec {
+        clients: CLIENT_THREADS,
+        base: WorkloadSpec::range(rows as u64, QUERIES_PER_CLIENT),
+        assignment: PatternAssignment::AllPatterns,
+    });
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            scope.spawn(move || {
+                for chunk in stream.queries.chunks(10) {
+                    let batch: Vec<TableQuery> = chunk
+                        .iter()
+                        .map(|q| TableQuery::new("a", q.low, q.high))
+                        .collect();
+                    black_box(executor.execute_batch(&batch).expect("known column"));
+                }
+            });
+        }
+    });
+    CLIENT_THREADS * QUERIES_PER_CLIENT
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let rows = BENCH_SCALE.column_size;
+    let mut group = c.benchmark_group("engine_throughput/shards");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("serve", shards), |b| {
+            // A fresh table per measurement so every sample pays the same
+            // mix of indexing work (cold start → refinement).
+            b.iter_batched(
+                || build_executor(rows, shards, 0.25),
+                |executor| serve(&executor, rows),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_impact(c: &mut Criterion) {
+    let rows = BENCH_SCALE.column_size;
+    let mut group = c.benchmark_group("engine_throughput/delta");
+    for delta in [0.1f64, 0.25, 0.5, 1.0] {
+        group.bench_function(BenchmarkId::new("serve_4_shards", delta), |b| {
+            b.iter_batched(
+                || build_executor(rows, 4, delta),
+                |executor| serve(&executor, rows),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_converged_serving(c: &mut Criterion) {
+    let rows = BENCH_SCALE.column_size;
+    let mut group = c.benchmark_group("engine_throughput/converged");
+    for shards in [1usize, 4] {
+        let executor = build_executor(rows, shards, 1.0);
+        executor.drive_to_convergence(usize::MAX);
+        group.bench_function(BenchmarkId::new("serve", shards), |b| {
+            b.iter(|| serve(&executor, rows))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_shard_scaling, bench_budget_impact, bench_converged_serving
+);
+criterion_main!(benches);

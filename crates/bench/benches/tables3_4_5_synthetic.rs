@@ -35,18 +35,15 @@ fn bench_block(c: &mut Criterion, name: &str, distribution: Distribution) {
     for pattern in PATTERNS {
         let workload = synthetic_workload(distribution, pattern);
         for algorithm in ALGORITHMS {
-            group.bench_function(
-                BenchmarkId::new(pattern.label(), algorithm.label()),
-                |b| {
-                    b.iter(|| {
-                        black_box(run_full_workload(
-                            algorithm,
-                            &workload,
-                            BudgetPolicy::FixedDelta(0.25),
-                        ))
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(pattern.label(), algorithm.label()), |b| {
+                b.iter(|| {
+                    black_box(run_full_workload(
+                        algorithm,
+                        &workload,
+                        BudgetPolicy::FixedDelta(0.25),
+                    ))
+                })
+            });
         }
     }
     group.finish();

@@ -103,7 +103,11 @@ impl BlockBucket {
     /// Panics when `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> Value {
-        assert!(i < self.len, "bucket index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bucket index {i} out of bounds (len {})",
+            self.len
+        );
         self.blocks[i / self.block_capacity][i % self.block_capacity]
     }
 
@@ -230,7 +234,13 @@ impl BucketSet {
 
     /// Predicated range-sum over a contiguous range of buckets
     /// `[first, last]` (inclusive).
-    pub fn range_sum_buckets(&self, first: usize, last: usize, low: Value, high: Value) -> ScanResult {
+    pub fn range_sum_buckets(
+        &self,
+        first: usize,
+        last: usize,
+        low: Value,
+        high: Value,
+    ) -> ScanResult {
         let mut result = ScanResult::EMPTY;
         for bucket in &self.buckets[first..=last.min(self.buckets.len() - 1)] {
             result = result.merge(bucket.range_sum(low, high));
@@ -353,11 +363,7 @@ mod tests {
         for v in 0..100u64 {
             set.push((v / 25) as usize, v);
         }
-        let expected = pi_storage::scan::scan_range_sum(
-            &(0..100u64).collect::<Vec<_>>(),
-            30,
-            70,
-        );
+        let expected = pi_storage::scan::scan_range_sum(&(0..100u64).collect::<Vec<_>>(), 30, 70);
         // Values 30..=70 live in buckets 1 and 2.
         assert_eq!(set.range_sum_buckets(1, 2, 30, 70), expected);
     }

@@ -215,7 +215,9 @@ impl ProgressiveBucketsort {
         let mut scanned: u64 = 0;
         if low <= high {
             result = result.merge(buckets.range_sum_buckets(lo_b, hi_b, low, high));
-            scanned += (lo_b..=hi_b).map(|b| buckets.bucket(b).len() as u64).sum::<u64>();
+            scanned += (lo_b..=hi_b)
+                .map(|b| buckets.bucket(b).len() as u64)
+                .sum::<u64>();
         }
         let alpha = scanned as f64 / n.max(1) as f64;
         let rho = *consumed as f64 / n.max(1) as f64;
@@ -683,7 +685,8 @@ mod tests {
     fn phase_progression_is_monotone() {
         let column = Arc::new(testing::random_column(25_000, 250_000, 17));
         let reference = testing::ReferenceIndex::new(&column);
-        let mut idx = ProgressiveBucketsort::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.3));
+        let mut idx =
+            ProgressiveBucketsort::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.3));
         let mut last = Phase::Creation;
         for i in 0..400u64 {
             let low = (i * 613) % 250_000;

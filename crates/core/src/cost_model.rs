@@ -44,12 +44,12 @@ impl CostConstants {
     /// results do not depend on the host machine.
     pub fn synthetic() -> Self {
         CostConstants {
-            omega: 2.0e-7,  // ~200ns to stream one 4 KiB page
-            kappa: 2.5e-7,  // writes slightly more expensive than reads
-            phi: 1.0e-7,    // ~100ns per random access (cache/TLB miss)
-            gamma: 512.0,   // 4 KiB page / 8-byte values
-            sigma: 2.0e-9,  // ~2ns per element swap
-            tau: 1.0e-7,    // ~100ns per block allocation
+            omega: 2.0e-7, // ~200ns to stream one 4 KiB page
+            kappa: 2.5e-7, // writes slightly more expensive than reads
+            phi: 1.0e-7,   // ~100ns per random access (cache/TLB miss)
+            gamma: 512.0,  // 4 KiB page / 8-byte values
+            sigma: 2.0e-9, // ~2ns per element swap
+            tau: 1.0e-7,   // ~100ns per block allocation
         }
     }
 

@@ -28,6 +28,16 @@
 //! distribution, and whether extra memory for out-of-place bucket storage
 //! is acceptable.
 
+use std::sync::Arc;
+
+use crate::budget::BudgetPolicy;
+use crate::cost_model::CostConstants;
+use crate::index::RangeIndex;
+use crate::{
+    ProgressiveBucketsort, ProgressiveQuicksort, ProgressiveRadixsortLsd, ProgressiveRadixsortMsd,
+};
+use pi_storage::Column;
+
 /// The progressive indexing technique recommended by the decision tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -60,6 +70,57 @@ impl Algorithm {
         Algorithm::Bucketsort,
         Algorithm::RadixsortLsd,
     ];
+
+    /// Builds the progressive index this variant names over `column`,
+    /// behind the uniform [`RangeIndex`] interface.
+    ///
+    /// This is the single construction point shared by the experiment
+    /// harness, the examples and the sharded engine; it uses each
+    /// algorithm's default cost constants (see
+    /// [`Algorithm::build_with_constants`] for explicit ones).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pi_core::prelude::*;
+    ///
+    /// let column = Arc::new(pi_core::testing::random_column(10_000, 50_000, 7));
+    /// let algorithm = recommend(Scenario::unknown());
+    /// let mut index = algorithm.build(column, BudgetPolicy::FixedDelta(0.5));
+    /// let result = index.query(1_000, 2_000);
+    /// assert!(result.count > 0);
+    /// ```
+    pub fn build(self, column: Arc<Column>, policy: BudgetPolicy) -> Box<dyn RangeIndex + Send> {
+        match self {
+            Algorithm::Quicksort => Box::new(ProgressiveQuicksort::new(column, policy)),
+            Algorithm::RadixsortMsd => Box::new(ProgressiveRadixsortMsd::new(column, policy)),
+            Algorithm::RadixsortLsd => Box::new(ProgressiveRadixsortLsd::new(column, policy)),
+            Algorithm::Bucketsort => Box::new(ProgressiveBucketsort::new(column, policy)),
+        }
+    }
+
+    /// [`Algorithm::build`] with explicit cost-model constants, as used by
+    /// the experiment harness (synthetic constants) and calibrated runs.
+    pub fn build_with_constants(
+        self,
+        column: Arc<Column>,
+        policy: BudgetPolicy,
+        constants: CostConstants,
+    ) -> Box<dyn RangeIndex + Send> {
+        match self {
+            Algorithm::Quicksort => Box::new(ProgressiveQuicksort::with_constants(
+                column, policy, constants,
+            )),
+            Algorithm::RadixsortMsd => Box::new(ProgressiveRadixsortMsd::with_constants(
+                column, policy, constants,
+            )),
+            Algorithm::RadixsortLsd => Box::new(ProgressiveRadixsortLsd::with_constants(
+                column, policy, constants,
+            )),
+            Algorithm::Bucketsort => Box::new(ProgressiveBucketsort::with_constants(
+                column, policy, constants,
+            )),
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -268,7 +329,10 @@ mod tests {
     #[test]
     fn algorithm_names_are_stable() {
         assert_eq!(Algorithm::Quicksort.name(), "progressive-quicksort");
-        assert_eq!(Algorithm::RadixsortMsd.to_string(), "progressive-radixsort-msd");
+        assert_eq!(
+            Algorithm::RadixsortMsd.to_string(),
+            "progressive-radixsort-msd"
+        );
         assert_eq!(Algorithm::ALL.len(), 4);
     }
 }

@@ -60,9 +60,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod budget;
 pub mod buckets;
 pub mod bucketsort;
+pub mod budget;
 pub mod cost_model;
 pub mod decision;
 pub mod index;
@@ -73,8 +73,8 @@ pub mod result;
 pub mod sorter;
 pub mod testing;
 
-pub use budget::{BudgetController, BudgetPolicy};
 pub use bucketsort::ProgressiveBucketsort;
+pub use budget::{BudgetController, BudgetPolicy};
 pub use cost_model::{CostConstants, CostModel};
 pub use decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
 pub use index::RangeIndex;
@@ -86,8 +86,8 @@ pub use result::{IndexStatus, Phase, QueryResult};
 /// Convenient glob-import of the types needed to use the library:
 /// `use pi_core::prelude::*;`.
 pub mod prelude {
-    pub use crate::budget::BudgetPolicy;
     pub use crate::bucketsort::ProgressiveBucketsort;
+    pub use crate::budget::BudgetPolicy;
     pub use crate::cost_model::{CostConstants, CostModel};
     pub use crate::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
     pub use crate::index::RangeIndex;

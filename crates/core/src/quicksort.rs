@@ -437,10 +437,7 @@ mod tests {
     fn first_query_is_correct_and_cheap_in_work() {
         let column = testing::random_column(100_000, 1_000_000, 1);
         let reference = testing::ReferenceIndex::new(&column);
-        let mut idx = ProgressiveQuicksort::new(
-            Arc::new(column),
-            BudgetPolicy::FixedDelta(0.1),
-        );
+        let mut idx = ProgressiveQuicksort::new(Arc::new(column), BudgetPolicy::FixedDelta(0.1));
         let r = idx.query(100, 5_000);
         assert_eq!(r.scan_result(), reference.query(100, 5_000));
         assert_eq!(r.phase, Phase::Creation);

@@ -351,7 +351,9 @@ impl ProgressiveRadixsortLsd {
                 } else {
                     0
                 };
-                let mut r = source.bucket(src_b).range_sum_from(consumed_in_src, low, high);
+                let mut r = source
+                    .bucket(src_b)
+                    .range_sum_from(consumed_in_src, low, high);
                 r = r.merge(target.bucket(tgt_b).range_sum(low, high));
                 let scanned = (source.bucket(src_b).len().saturating_sub(consumed_in_src)
                     + target.bucket(tgt_b).len()) as u64;
@@ -487,10 +489,12 @@ impl ProgressiveRadixsortLsd {
                 }
                 None => {
                     // Range query: scan the unmerged remainder.
-                    result = result
-                        .merge(buckets.bucket(*cur_bucket).range_sum_from(*cur_pos, low, high));
-                    scanned +=
-                        (buckets.bucket(*cur_bucket).len().saturating_sub(*cur_pos)) as u64;
+                    result = result.merge(
+                        buckets
+                            .bucket(*cur_bucket)
+                            .range_sum_from(*cur_pos, low, high),
+                    );
+                    scanned += (buckets.bucket(*cur_bucket).len().saturating_sub(*cur_pos)) as u64;
                     for b in (*cur_bucket + 1)..bucket_count {
                         result = result.merge(buckets.bucket(b).range_sum(low, high));
                         scanned += buckets.bucket(b).len() as u64;
@@ -690,8 +694,7 @@ mod tests {
     fn first_query_range_uses_fallback_and_is_correct() {
         let column = testing::random_column(50_000, 500_000, 77);
         let reference = testing::ReferenceIndex::new(&column);
-        let mut idx =
-            ProgressiveRadixsortLsd::new(Arc::new(column), BudgetPolicy::FixedDelta(0.1));
+        let mut idx = ProgressiveRadixsortLsd::new(Arc::new(column), BudgetPolicy::FixedDelta(0.1));
         let r = idx.query(10_000, 100_000);
         assert_eq!(r.scan_result(), reference.query(10_000, 100_000));
         // Fallback scans the full column.

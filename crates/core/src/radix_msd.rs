@@ -231,7 +231,9 @@ impl ProgressiveRadixsortMsd {
             let lo_b = ((low.saturating_sub(min) >> shift) as usize).min(bucket_count - 1);
             let hi_b = ((high - min) >> shift).min(bucket_count as u64 - 1) as usize;
             result = result.merge(buckets.range_sum_buckets(lo_b, hi_b, low, high));
-            scanned += (lo_b..=hi_b).map(|b| buckets.bucket(b).len() as u64).sum::<u64>();
+            scanned += (lo_b..=hi_b)
+                .map(|b| buckets.bucket(b).len() as u64)
+                .sum::<u64>();
         }
         let alpha = scanned as f64 / n.max(1) as f64;
         let rho = *consumed as f64 / n.max(1) as f64;
@@ -340,7 +342,7 @@ impl ProgressiveRadixsortMsd {
             (ScanResult::EMPTY, 0)
         } else {
             let nlow = low.saturating_sub(min);
-            let nhigh = if high >= min { high - min } else { 0 };
+            let nhigh = high.saturating_sub(min);
             let mut result = ScanResult::EMPTY;
             let mut scanned = 0u64;
             if high >= min {
@@ -358,7 +360,9 @@ impl ProgressiveRadixsortMsd {
         let budget = ((delta * n as f64).ceil() as usize).max(1);
         let mut ops = 0usize;
         while ops < budget {
-            let Some(&node_id) = pending.front() else { break };
+            let Some(&node_id) = pending.front() else {
+                break;
+            };
             let (done, used) = refine_msd_node(
                 nodes,
                 node_id,
@@ -629,7 +633,7 @@ fn refine_msd_node(
 /// bucket into its children; finalises child offsets and enqueues the
 /// children when the source is exhausted.
 fn refine_msd_step(
-    nodes: &mut Vec<MsdNode>,
+    nodes: &mut [MsdNode],
     id: usize,
     pending: &mut VecDeque<usize>,
     min: Value,
@@ -761,8 +765,7 @@ mod tests {
     fn first_query_correct_and_bounded_work() {
         let column = testing::random_column(80_000, 1_000_000, 21);
         let reference = testing::ReferenceIndex::new(&column);
-        let mut idx =
-            ProgressiveRadixsortMsd::new(Arc::new(column), BudgetPolicy::FixedDelta(0.1));
+        let mut idx = ProgressiveRadixsortMsd::new(Arc::new(column), BudgetPolicy::FixedDelta(0.1));
         let r = idx.query(5_000, 60_000);
         assert_eq!(r.scan_result(), reference.query(5_000, 60_000));
         assert!(r.indexing_ops <= (0.1f64 * 80_000.0).ceil() as u64);
@@ -851,7 +854,8 @@ mod tests {
     fn phases_progress_in_order() {
         let column = Arc::new(testing::random_column(30_000, 1_000_000, 5));
         let reference = testing::ReferenceIndex::new(&Column::from_vec(column.data().to_vec()));
-        let mut idx = ProgressiveRadixsortMsd::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.3));
+        let mut idx =
+            ProgressiveRadixsortMsd::new(Arc::clone(&column), BudgetPolicy::FixedDelta(0.3));
         let mut last_phase = Phase::Creation;
         for i in 0..300u64 {
             let low = (i * 991) % 1_000_000;

@@ -485,7 +485,12 @@ mod tests {
         let mut data = pseudo_random(n, domain, 7);
         let reference = data.clone();
         let mut sorter = IncrementalSorter::with_small_node(0, n, 0, domain, 128);
-        let predicates = [(0, domain), (100, 5_000), (25_000, 26_000), (49_999, 49_999)];
+        let predicates = [
+            (0, domain),
+            (100, 5_000),
+            (25_000, 26_000),
+            (49_999, 49_999),
+        ];
         let mut guard = 0;
         loop {
             for &(lo, hi) in &predicates {

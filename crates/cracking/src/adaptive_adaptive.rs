@@ -179,10 +179,7 @@ impl RangeIndex for AdaptiveAdaptiveIndexing {
     fn query(&mut self, low: Value, high: Value) -> QueryResult {
         self.queries_executed += 1;
         if low > high || self.column.is_empty() {
-            return QueryResult::answer_only(
-                pi_storage::ScanResult::EMPTY,
-                self.status().phase,
-            );
+            return QueryResult::answer_only(pi_storage::ScanResult::EMPTY, self.status().phase);
         }
         let mut ops = 0u64;
         if self.cracked.is_none() {
@@ -250,7 +247,10 @@ mod tests {
         let later: Vec<u64> = (0..10)
             .map(|q| idx.query(q * 90_000, q * 90_000 + 50_000).indexing_ops)
             .collect();
-        assert!(first.indexing_ops >= 100_000, "first query partitions everything");
+        assert!(
+            first.indexing_ops >= 100_000,
+            "first query partitions everything"
+        );
         assert!(later.iter().all(|&ops| ops < first.indexing_ops));
     }
 
@@ -268,8 +268,16 @@ mod tests {
         let col = Arc::new(Column::from_vec(values));
         let reference = ReferenceIndex::new(&col);
         let mut idx = AdaptiveAdaptiveIndexing::new(Arc::clone(&col));
-        for (low, high) in [(499_000, 501_000), (0, 10_000), (500_500, 500_600), (42, 42)] {
-            assert_eq!(idx.query(low, high).scan_result(), reference.query(low, high));
+        for (low, high) in [
+            (499_000, 501_000),
+            (0, 10_000),
+            (500_500, 500_600),
+            (42, 42),
+        ] {
+            assert_eq!(
+                idx.query(low, high).scan_result(),
+                reference.query(low, high)
+            );
         }
     }
 

@@ -39,7 +39,10 @@ impl CoarseGranularIndex {
     /// # Panics
     /// Panics when `partitions < 2`.
     pub fn with_partitions(column: Arc<Column>, partitions: usize) -> Self {
-        assert!(partitions >= 2, "need at least 2 partitions, got {partitions}");
+        assert!(
+            partitions >= 2,
+            "need at least 2 partitions, got {partitions}"
+        );
         CoarseGranularIndex {
             column,
             cracked: None,
@@ -123,10 +126,7 @@ impl RangeIndex for CoarseGranularIndex {
     fn query(&mut self, low: Value, high: Value) -> QueryResult {
         self.queries_executed += 1;
         if low > high || self.column.is_empty() {
-            return QueryResult::answer_only(
-                pi_storage::ScanResult::EMPTY,
-                self.status().phase,
-            );
+            return QueryResult::answer_only(pi_storage::ScanResult::EMPTY, self.status().phase);
         }
         let mut ops = 0u64;
         if self.cracked.is_none() {
@@ -208,7 +208,10 @@ mod tests {
         let cracked = idx.cracked.as_ref().unwrap();
         // Uniform data: no piece should be much larger than n / partitions.
         let largest = cracked.index().largest_piece(64_000);
-        assert!(largest < 2 * (64_000 / 32) + 1_000, "largest piece {largest}");
+        assert!(
+            largest < 2 * (64_000 / 32) + 1_000,
+            "largest piece {largest}"
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl CrackedColumn {
 
         // Low side: positions >= inner_start are guaranteed >= low.
         let (lo_piece, lo_exact) = self.index.lookup(low, n);
-        let inner_start = if lo_exact { lo_piece.begin } else { lo_piece.end };
+        let inner_start = if lo_exact {
+            lo_piece.begin
+        } else {
+            lo_piece.end
+        };
 
         // High side: positions < inner_end are guaranteed <= high.
         let (hi_piece, hi_exact, inner_end) = if high == Value::MAX {

@@ -164,7 +164,13 @@ mod tests {
         // Exactly on a boundary: the piece starts at that boundary.
         assert_eq!(idx.piece_for(10, n), Piece { begin: 25, end: 70 });
         // Above the last boundary.
-        assert_eq!(idx.piece_for(60, n), Piece { begin: 70, end: 100 });
+        assert_eq!(
+            idx.piece_for(60, n),
+            Piece {
+                begin: 70,
+                end: 100
+            }
+        );
     }
 
     #[test]
@@ -189,7 +195,10 @@ mod tests {
             vec![
                 Piece { begin: 0, end: 25 },
                 Piece { begin: 25, end: 70 },
-                Piece { begin: 70, end: 100 },
+                Piece {
+                    begin: 70,
+                    end: 100
+                },
             ]
         );
         assert_eq!(pieces.iter().map(Piece::len).sum::<usize>(), 100);

@@ -138,10 +138,7 @@ impl RangeIndex for ProgressiveStochasticCracking {
     fn query(&mut self, low: Value, high: Value) -> QueryResult {
         self.queries_executed += 1;
         if low > high || self.column.is_empty() {
-            return QueryResult::answer_only(
-                pi_storage::ScanResult::EMPTY,
-                self.status().phase,
-            );
+            return QueryResult::answer_only(pi_storage::ScanResult::EMPTY, self.status().phase);
         }
         let budget = self.allowed_swaps;
         let spent_low = self.crack_for_bound(low, budget);
@@ -206,8 +203,7 @@ mod tests {
         // are actually exercised; 1% allowed swaps.
         let col = Arc::new(random_column(100_000, 1_000_000, 31));
         let reference = ReferenceIndex::new(&col);
-        let mut idx =
-            ProgressiveStochasticCracking::with_config(Arc::clone(&col), 3, 0.01, 1_024);
+        let mut idx = ProgressiveStochasticCracking::with_config(Arc::clone(&col), 3, 0.01, 1_024);
         let allowance = idx.allowed_swaps();
         for q in 0..30u64 {
             let low = (q * 31_337) % 900_000;
@@ -227,8 +223,7 @@ mod tests {
     fn partial_cracks_eventually_complete() {
         let col = Arc::new(random_column(50_000, 100_000, 32));
         let reference = ReferenceIndex::new(&col);
-        let mut idx =
-            ProgressiveStochasticCracking::with_config(Arc::clone(&col), 3, 0.02, 1_024);
+        let mut idx = ProgressiveStochasticCracking::with_config(Arc::clone(&col), 3, 0.02, 1_024);
         // Hammer the same region; the pending crack on the big initial
         // piece must finish and install a boundary.
         for _ in 0..200 {

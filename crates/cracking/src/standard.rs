@@ -54,10 +54,7 @@ impl RangeIndex for StandardCracking {
     fn query(&mut self, low: Value, high: Value) -> QueryResult {
         self.queries_executed += 1;
         if low > high || self.column.is_empty() {
-            return QueryResult::answer_only(
-                pi_storage::ScanResult::EMPTY,
-                self.status().phase,
-            );
+            return QueryResult::answer_only(pi_storage::ScanResult::EMPTY, self.status().phase);
         }
         let cracked = self.cracked_mut();
         let (_, swaps_lo) = cracked.crack_exact(low);
@@ -150,7 +147,10 @@ mod tests {
         let col = Arc::new(random_column(5_000, 1_000, 13));
         let reference = ReferenceIndex::new(&col);
         let mut idx = StandardCracking::new(Arc::clone(&col));
-        assert_eq!(idx.point_query(500).scan_result(), reference.query(500, 500));
+        assert_eq!(
+            idx.point_query(500).scan_result(),
+            reference.query(500, 500)
+        );
         assert_eq!(
             idx.query(0, Value::MAX).scan_result(),
             reference.query(0, Value::MAX)

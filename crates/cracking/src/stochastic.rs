@@ -74,12 +74,9 @@ impl StochasticCracking {
         // Pre-draw randomness so the RNG borrow does not overlap the
         // cracker borrow.
         let random_draw: u64 = self.rng.gen();
-        let cracked = if self.cracked.is_none() {
-            self.cracked = Some(CrackedColumn::new(&self.column));
-            self.cracked.as_mut().expect("just initialised")
-        } else {
-            self.cracked.as_mut().expect("initialised above")
-        };
+        let cracked = self
+            .cracked
+            .get_or_insert_with(|| CrackedColumn::new(&self.column));
         if cracked.index().position_of(bound).is_some() {
             return 0;
         }
@@ -108,10 +105,7 @@ impl RangeIndex for StochasticCracking {
     fn query(&mut self, low: Value, high: Value) -> QueryResult {
         self.queries_executed += 1;
         if low > high || self.column.is_empty() {
-            return QueryResult::answer_only(
-                pi_storage::ScanResult::EMPTY,
-                self.status().phase,
-            );
+            return QueryResult::answer_only(pi_storage::ScanResult::EMPTY, self.status().phase);
         }
         let mut swaps = self.crack_for_bound(low);
         if high < Value::MAX {
@@ -177,7 +171,10 @@ mod tests {
         for q in 0..50u64 {
             let low = q * 10_000;
             let high = low + 9_999;
-            assert_eq!(idx.query(low, high).scan_result(), reference.query(low, high));
+            assert_eq!(
+                idx.query(low, high).scan_result(),
+                reference.query(low, high)
+            );
         }
         assert!(idx.status().phase_progress > 0.0);
     }

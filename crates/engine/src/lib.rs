@@ -1,0 +1,67 @@
+//! # pi-engine — sharded, concurrent query serving over progressive indexes
+//!
+//! The paper (Holanda et al., PVLDB 12(13), 2019) defines progressive
+//! indexing for a single column queried by a single thread: every query
+//! performs a bounded δ-slice of indexing work, answers never depend on
+//! indexing progress, and the index converges deterministically. This
+//! crate scales that model to a serving engine:
+//!
+//! * [`Table`] — multiple named columns, each **range-sharded** into N
+//!   independent shards ([`pi_storage::shard::RangePartition`], equi-depth
+//!   boundaries). Every shard owns its own progressive index; the
+//!   algorithm is chosen per column **at build time** via the paper's
+//!   Figure-11 decision tree fed by [`stats::estimate_distribution`] (or
+//!   pinned with [`AlgorithmChoice::Fixed`]). The observed
+//!   [`stats::WorkloadStats`] re-walk the same tree on demand through
+//!   [`table::ShardedColumn::recommended_algorithm`], surfacing drift
+//!   between the running algorithm and the served workload.
+//! * [`Executor`] — accepts query batches from any number of client
+//!   threads, fans each query out across the overlapping shards with a
+//!   bounded worker pool, merges the partial [`pi_storage::ScanResult`]s,
+//!   and amortizes a fixed per-batch **maintenance budget** across cold
+//!   shards so the whole table converges under any workload pattern — the
+//!   engine-level analogue of the paper's per-query robustness guarantee.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pi_engine::{ColumnSpec, Executor, Table, TableQuery};
+//!
+//! // Two columns, four shards each; algorithms come from the decision tree.
+//! let ra: Vec<u64> = (0..10_000).map(|i| (i * 37) % 10_000).collect();
+//! let dec: Vec<u64> = (0..10_000).map(|i| (i * 101) % 20_000).collect();
+//! let table = Arc::new(
+//!     Table::builder()
+//!         .column(ColumnSpec::new("ra", ra.clone()).with_shards(4))
+//!         .column(ColumnSpec::new("dec", dec).with_shards(4))
+//!         .build(),
+//! );
+//!
+//! let executor = Executor::new(Arc::clone(&table));
+//! let results = executor
+//!     .execute_batch(&[
+//!         TableQuery::new("ra", 1_000, 2_000),
+//!         TableQuery::new("dec", 0, 5_000),
+//!     ])
+//!     .unwrap();
+//!
+//! // Answers are bit-identical to a full scan, from the very first batch.
+//! let expected = pi_storage::scan::scan_range_sum(&ra, 1_000, 2_000);
+//! assert_eq!(results[0], expected);
+//!
+//! // Batches keep refining the shards; maintenance converges the rest.
+//! executor.drive_to_convergence(usize::MAX);
+//! assert!(table.is_converged());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod stats;
+pub mod table;
+
+pub use executor::{EngineError, Executor, ExecutorConfig, TableQuery};
+pub use stats::{estimate_distribution, WorkloadStats};
+pub use table::{AlgorithmChoice, ColumnSpec, Shard, ShardedColumn, Table, TableBuilder};

@@ -1,0 +1,530 @@
+//! Multi-column tables whose columns are range-sharded progressive
+//! indexes.
+//!
+//! A [`Table`] owns a set of named columns. Each column is split into N
+//! value-range shards (via [`pi_storage::shard::RangePartition`]); every
+//! shard owns its **own** progressive index over its slice of the rows, so
+//!
+//! * indexing work on different shards can proceed in parallel,
+//! * a range query only visits the shards whose value range overlaps the
+//!   predicate, and
+//! * each shard converges independently towards its B+-tree, preserving
+//!   the paper's deterministic-convergence property per shard.
+//!
+//! The indexing algorithm is chosen **per column** through the paper's
+//! Figure-11 decision tree ([`pi_core::decision::recommend`]) from the
+//! estimated data distribution and an optional query-shape hint, or pinned
+//! explicitly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pi_core::budget::BudgetPolicy;
+use pi_core::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
+use pi_core::result::{IndexStatus, Phase};
+use pi_core::RangeIndex;
+use pi_storage::scan::ScanResult;
+use pi_storage::shard::RangePartition;
+use pi_storage::{Column, Value};
+
+use crate::stats::{estimate_distribution, WorkloadStats};
+
+/// How a column's indexing algorithm is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// Walk the Figure-11 decision tree with the given query-shape hint
+    /// and the distribution estimated from the data
+    /// ([`estimate_distribution`]).
+    Auto(QueryShape),
+    /// Use this algorithm on every shard of the column.
+    Fixed(Algorithm),
+}
+
+impl Default for AlgorithmChoice {
+    fn default() -> Self {
+        AlgorithmChoice::Auto(QueryShape::Unknown)
+    }
+}
+
+/// Specification of one column of a [`Table`].
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name used to address queries.
+    pub name: String,
+    /// The column's values, in row order.
+    pub values: Vec<Value>,
+    /// Number of range shards.
+    pub shards: usize,
+    /// Per-shard indexing budget policy.
+    pub policy: BudgetPolicy,
+    /// Algorithm selection.
+    pub choice: AlgorithmChoice,
+}
+
+impl ColumnSpec {
+    /// A column with decision-tree algorithm selection and no query-shape
+    /// hint.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            values,
+            shards: 4,
+            policy: BudgetPolicy::FixedDelta(0.25),
+            choice: AlgorithmChoice::default(),
+        }
+    }
+
+    /// Sets the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard budget policy (builder style).
+    pub fn with_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the algorithm selection (builder style).
+    pub fn with_choice(mut self, choice: AlgorithmChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+}
+
+/// One shard: a progressive index over the rows whose values fall into the
+/// shard's value range. Empty shards carry no index and are born
+/// converged.
+pub struct Shard {
+    rows: usize,
+    index: Option<Box<dyn RangeIndex + Send>>,
+}
+
+impl Shard {
+    fn new(column: Column, algorithm: Algorithm, policy: BudgetPolicy) -> Self {
+        let rows = column.len();
+        let index = if rows == 0 {
+            None
+        } else {
+            Some(algorithm.build(Arc::new(column), policy))
+        };
+        Shard { rows, index }
+    }
+
+    /// Number of rows this shard owns.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Answers `[low, high]` against this shard, performing the shard's
+    /// per-query indexing work as a side effect.
+    pub fn query(&mut self, low: Value, high: Value) -> ScanResult {
+        match &mut self.index {
+            Some(index) => index.query(low, high).scan_result(),
+            None => ScanResult::EMPTY,
+        }
+    }
+
+    /// Performs one budgeted slice of indexing work without answering a
+    /// query (an empty-range query: the paper's model performs indexing
+    /// only as a query side effect, so maintenance is an empty query).
+    /// Returns `true` when work was performed, `false` when the shard is
+    /// already converged.
+    pub fn advance(&mut self) -> bool {
+        match &mut self.index {
+            Some(index) if !index.is_converged() => {
+                index.query(1, 0);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The shard's index status (empty shards report converged).
+    pub fn status(&self) -> IndexStatus {
+        match &self.index {
+            Some(index) => index.status(),
+            None => IndexStatus::converged(),
+        }
+    }
+}
+
+/// A named, range-sharded, progressively indexed column.
+pub struct ShardedColumn {
+    name: String,
+    rows: usize,
+    domain: (Value, Value),
+    algorithm: Algorithm,
+    distribution: DataDistribution,
+    partition: RangePartition,
+    shards: Vec<Mutex<Shard>>,
+    stats: WorkloadStats,
+}
+
+impl ShardedColumn {
+    fn from_spec(spec: ColumnSpec) -> Self {
+        assert!(spec.shards > 0, "a column needs at least one shard");
+        let distribution = estimate_distribution(&spec.values);
+        let algorithm = match spec.choice {
+            AlgorithmChoice::Fixed(a) => a,
+            AlgorithmChoice::Auto(shape) => recommend(Scenario {
+                query_shape: shape,
+                distribution,
+                extra_memory_allowed: true,
+            }),
+        };
+        let column = Column::from_vec(spec.values);
+        let rows = column.len();
+        let domain = column.domain().unwrap_or((0, 0));
+        let partition = RangePartition::equi_depth(column.data(), spec.shards);
+        let shards = partition
+            .split_column(&column)
+            .into_iter()
+            .map(|sub| Mutex::new(Shard::new(sub, algorithm, spec.policy)))
+            .collect();
+        ShardedColumn {
+            name: spec.name,
+            rows,
+            domain,
+            algorithm,
+            distribution,
+            partition,
+            shards,
+            stats: WorkloadStats::new(),
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The `[min, max]` value domain of the column (`(0, 0)` when empty).
+    pub fn domain(&self) -> (Value, Value) {
+        self.domain
+    }
+
+    /// The algorithm running on every shard of this column.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard boundaries partition.
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// The column's observed workload statistics.
+    pub fn stats(&self) -> &WorkloadStats {
+        &self.stats
+    }
+
+    /// Re-walks the Figure-11 decision tree with the *observed* workload
+    /// shape (from [`ShardedColumn::stats`]) and the distribution estimated
+    /// at build time.
+    ///
+    /// Algorithm selection happens once, at construction, when no queries
+    /// have been observed; this reports what the tree would choose now, so
+    /// an operator (or a future re-indexing PR) can detect drift between
+    /// the running algorithm ([`ShardedColumn::algorithm`]) and the
+    /// workload actually being served.
+    pub fn recommended_algorithm(&self) -> Algorithm {
+        recommend(self.stats.scenario(self.distribution, true))
+    }
+
+    /// The contiguous shard range a `[low, high]` predicate must visit.
+    pub fn overlapping(&self, low: Value, high: Value) -> std::ops::Range<usize> {
+        self.partition.overlapping(low, high)
+    }
+
+    /// Locks shard `shard` and answers `[low, high]` against it.
+    ///
+    /// Used by the executor's parallel fan-out; prefer
+    /// [`ShardedColumn::query`] for the serial path.
+    pub fn query_shard(&self, shard: usize, low: Value, high: Value) -> ScanResult {
+        self.shards[shard]
+            .lock()
+            .expect("shard lock poisoned")
+            .query(low, high)
+    }
+
+    /// Answers `[low, high]` by visiting the overlapping shards serially
+    /// and merging the partial results. Records the query in the column's
+    /// workload statistics.
+    pub fn query(&self, low: Value, high: Value) -> ScanResult {
+        self.stats.record(low, high);
+        let mut merged = ScanResult::EMPTY;
+        for shard in self.overlapping(low, high) {
+            merged = merged.merge(self.query_shard(shard, low, high));
+        }
+        merged
+    }
+
+    /// Performs one maintenance step on shard `shard`; returns `true` when
+    /// indexing work was performed.
+    pub fn advance_shard(&self, shard: usize) -> bool {
+        self.shards[shard]
+            .lock()
+            .expect("shard lock poisoned")
+            .advance()
+    }
+
+    /// Per-shard status snapshots.
+    pub fn shard_statuses(&self) -> Vec<IndexStatus> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").status())
+            .collect()
+    }
+
+    /// Aggregate status of the column: the earliest phase any shard is
+    /// still in, row-weighted mean progress, and convergence once every
+    /// shard has converged.
+    pub fn status(&self) -> IndexStatus {
+        let mut phase = Phase::Converged;
+        let mut fraction_indexed = 0.0;
+        let mut phase_progress = 0.0;
+        let mut converged = true;
+        let mut weight = 0.0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            let status = shard.status();
+            let rows = shard.rows() as f64;
+            phase = phase.min(status.phase);
+            converged &= status.converged;
+            fraction_indexed += status.fraction_indexed * rows;
+            phase_progress += status.phase_progress * rows;
+            weight += rows;
+        }
+        if weight == 0.0 {
+            return IndexStatus::converged();
+        }
+        IndexStatus {
+            phase,
+            fraction_indexed: fraction_indexed / weight,
+            phase_progress: phase_progress / weight,
+            converged,
+        }
+    }
+
+    /// `true` once every shard of the column has converged.
+    pub fn is_converged(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("shard lock poisoned").status().converged)
+    }
+}
+
+/// A multi-column table of range-sharded progressive indexes.
+///
+/// Columns are built through [`Table::builder`]; queries are served either
+/// directly ([`Table::query`]) or — batched, in parallel, from many client
+/// threads — through [`crate::executor::Executor`].
+pub struct Table {
+    columns: Vec<ShardedColumn>,
+    by_name: HashMap<String, usize>,
+}
+
+/// Builder for [`Table`].
+#[derive(Default)]
+pub struct TableBuilder {
+    specs: Vec<ColumnSpec>,
+}
+
+impl TableBuilder {
+    /// Adds a column.
+    pub fn column(mut self, spec: ColumnSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Builds the table, sharding every column and constructing the
+    /// per-shard indexes.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn build(self) -> Table {
+        let mut columns = Vec::with_capacity(self.specs.len());
+        let mut by_name = HashMap::new();
+        for spec in self.specs {
+            let column = ShardedColumn::from_spec(spec);
+            let previous = by_name.insert(column.name().to_string(), columns.len());
+            assert!(
+                previous.is_none(),
+                "duplicate column name {:?}",
+                column.name()
+            );
+            columns.push(column);
+        }
+        Table { columns, by_name }
+    }
+}
+
+impl Table {
+    /// Starts building a table.
+    pub fn builder() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// The table's columns, in insertion order.
+    pub fn columns(&self) -> &[ShardedColumn] {
+        &self.columns
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&ShardedColumn> {
+        self.by_name.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Index of a column by name (used by the executor's task lists).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `SELECT SUM(col), COUNT(col) WHERE col BETWEEN low AND high`,
+    /// served serially. Returns `None` for an unknown column.
+    pub fn query(&self, column: &str, low: Value, high: Value) -> Option<ScanResult> {
+        Some(self.column(column)?.query(low, high))
+    }
+
+    /// Aggregate status per column.
+    pub fn status(&self) -> Vec<(&str, IndexStatus)> {
+        self.columns
+            .iter()
+            .map(|c| (c.name(), c.status()))
+            .collect()
+    }
+
+    /// `true` once every shard of every column has converged.
+    pub fn is_converged(&self) -> bool {
+        self.columns.iter().all(ShardedColumn::is_converged)
+    }
+
+    /// Total number of shards across all columns.
+    pub fn total_shards(&self) -> usize {
+        self.columns.iter().map(ShardedColumn::shard_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::testing::random_column;
+    use pi_storage::scan::scan_range_sum;
+
+    fn uniform_values(n: usize, seed: u64) -> Vec<Value> {
+        random_column(n, n as u64, seed).into_vec()
+    }
+
+    #[test]
+    fn sharded_column_matches_full_scan() {
+        let values = uniform_values(20_000, 11);
+        let column = ShardedColumn::from_spec(ColumnSpec::new("a", values.clone()).with_shards(4));
+        assert_eq!(column.shard_count(), 4);
+        for (low, high) in [(0, 5_000), (7_500, 12_500), (19_999, 19_999), (5, 3)] {
+            assert_eq!(
+                column.query(low, high),
+                scan_range_sum(&values, low, high),
+                "[{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_converge_under_maintenance() {
+        let values = uniform_values(5_000, 13);
+        let column = ShardedColumn::from_spec(
+            ColumnSpec::new("a", values.clone())
+                .with_shards(4)
+                .with_policy(BudgetPolicy::FixedDelta(1.0)),
+        );
+        let mut guard = 0;
+        while !column.is_converged() {
+            for shard in 0..column.shard_count() {
+                column.advance_shard(shard);
+            }
+            guard += 1;
+            assert!(guard < 500, "column did not converge");
+        }
+        let status = column.status();
+        assert!(status.converged);
+        assert_eq!(status.phase, Phase::Converged);
+        // Answers remain exact after convergence.
+        assert_eq!(
+            column.query(100, 2_000),
+            scan_range_sum(&values, 100, 2_000)
+        );
+    }
+
+    #[test]
+    fn auto_choice_uses_decision_tree() {
+        // Uniform data, range hint → Radixsort MSD per Figure 11.
+        let uniform = ShardedColumn::from_spec(
+            ColumnSpec::new("u", uniform_values(10_000, 17))
+                .with_choice(AlgorithmChoice::Auto(QueryShape::Range)),
+        );
+        assert_eq!(uniform.algorithm(), Algorithm::RadixsortMsd);
+        // Point hint → Radixsort LSD.
+        let point = ShardedColumn::from_spec(
+            ColumnSpec::new("p", uniform_values(10_000, 18))
+                .with_choice(AlgorithmChoice::Auto(QueryShape::Point)),
+        );
+        assert_eq!(point.algorithm(), Algorithm::RadixsortLsd);
+    }
+
+    #[test]
+    fn table_routes_queries_by_column_name() {
+        let a = uniform_values(8_000, 19);
+        let b: Vec<Value> = a.iter().map(|v| v * 3).collect();
+        let table = Table::builder()
+            .column(ColumnSpec::new("a", a.clone()).with_shards(4))
+            .column(ColumnSpec::new("b", b.clone()).with_shards(2))
+            .build();
+        assert_eq!(table.columns().len(), 2);
+        assert_eq!(table.total_shards(), 6);
+        assert_eq!(
+            table.query("a", 100, 4_000),
+            Some(scan_range_sum(&a, 100, 4_000))
+        );
+        assert_eq!(
+            table.query("b", 300, 12_000),
+            Some(scan_range_sum(&b, 300, 12_000))
+        );
+        assert_eq!(table.query("missing", 0, 1), None);
+    }
+
+    #[test]
+    fn empty_and_tiny_columns_work() {
+        let table = Table::builder()
+            .column(ColumnSpec::new("empty", vec![]).with_shards(4))
+            .column(ColumnSpec::new("tiny", vec![5, 1]).with_shards(4))
+            .build();
+        assert_eq!(table.query("empty", 0, 100), Some(ScanResult::EMPTY));
+        assert_eq!(
+            table.query("tiny", 0, 100),
+            Some(ScanResult { sum: 6, count: 2 })
+        );
+        let empty = table.column("empty").unwrap();
+        assert!(empty.status().converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        let _ = Table::builder()
+            .column(ColumnSpec::new("a", vec![1]))
+            .column(ColumnSpec::new("a", vec![2]))
+            .build();
+    }
+}

@@ -6,7 +6,12 @@ use pi_core::decision::{full_decision_table, DataDistribution, QueryShape};
 use pi_experiments::report::Table;
 
 fn main() {
-    let mut table = Table::new(["query_shape", "distribution", "extra_memory", "recommendation"]);
+    let mut table = Table::new([
+        "query_shape",
+        "distribution",
+        "extra_memory",
+        "recommendation",
+    ]);
     for (scenario, algorithm) in full_decision_table() {
         let shape = match scenario.query_shape {
             QueryShape::Point => "point",

@@ -38,12 +38,18 @@ fn main() {
     }
 
     println!("# Figure 5a — SkyServer-substitute data distribution");
-    println!("# column size: {}, domain: [0, {domain})", workload.column.len());
+    println!(
+        "# column size: {}, domain: [0, {domain})",
+        workload.column.len()
+    );
     print!("{}", hist_table.to_aligned_string());
     println!();
     println!("# Figure 5a CSV");
     print!("{}", hist_table.to_csv());
     println!();
-    println!("# Figure 5b CSV — query ranges over time ({} queries)", workload.queries.len());
+    println!(
+        "# Figure 5b CSV — query ranges over time ({} queries)",
+        workload.queries.len()
+    );
     print!("{}", query_table.to_csv());
 }

@@ -8,7 +8,9 @@ use pi_experiments::Scale;
 fn main() {
     let scale = Scale::from_env(Scale::DEFAULT);
     let series = cost_model_validation::run(scale, BudgetMode::Adaptive);
-    println!("# Figure 9 — cost-model validation, adaptive budget = 0.2 · t_scan (SkyServer workload)");
+    println!(
+        "# Figure 9 — cost-model validation, adaptive budget = 0.2 · t_scan (SkyServer workload)"
+    );
     print!(
         "{}",
         cost_model_validation::summary_table(&series).to_aligned_string()

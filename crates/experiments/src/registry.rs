@@ -6,10 +6,7 @@ use std::sync::Arc;
 
 use pi_core::budget::BudgetPolicy;
 use pi_core::cost_model::{CostConstants, CostModel};
-use pi_core::{
-    ProgressiveBucketsort, ProgressiveQuicksort, ProgressiveRadixsortLsd, ProgressiveRadixsortMsd,
-    RangeIndex,
-};
+use pi_core::{Algorithm, RangeIndex};
 use pi_cracking::{
     AdaptiveAdaptiveIndexing, CoarseGranularIndex, FullIndex, FullScan,
     ProgressiveStochasticCracking, StandardCracking, StochasticCracking,
@@ -129,18 +126,27 @@ impl AlgorithmId {
             }
             AlgorithmId::CoarseGranularIndex => Box::new(CoarseGranularIndex::new(column)),
             AlgorithmId::AdaptiveAdaptive => Box::new(AdaptiveAdaptiveIndexing::new(column)),
-            AlgorithmId::ProgressiveQuicksort => {
-                Box::new(ProgressiveQuicksort::with_constants(column, policy, constants))
-            }
-            AlgorithmId::ProgressiveRadixsortMsd => Box::new(
-                ProgressiveRadixsortMsd::with_constants(column, policy, constants),
-            ),
-            AlgorithmId::ProgressiveRadixsortLsd => Box::new(
-                ProgressiveRadixsortLsd::with_constants(column, policy, constants),
-            ),
-            AlgorithmId::ProgressiveBucketsort => Box::new(
-                ProgressiveBucketsort::with_constants(column, policy, constants),
-            ),
+            // The four progressive techniques share pi-core's uniform
+            // factory (`Algorithm::build_with_constants`).
+            AlgorithmId::ProgressiveQuicksort
+            | AlgorithmId::ProgressiveRadixsortMsd
+            | AlgorithmId::ProgressiveRadixsortLsd
+            | AlgorithmId::ProgressiveBucketsort => self
+                .algorithm()
+                .expect("progressive ids map to a pi-core Algorithm")
+                .build_with_constants(column, policy, constants),
+        }
+    }
+
+    /// The pi-core [`Algorithm`] this id corresponds to, when it names one
+    /// of the four progressive techniques.
+    pub fn algorithm(self) -> Option<Algorithm> {
+        match self {
+            AlgorithmId::ProgressiveQuicksort => Some(Algorithm::Quicksort),
+            AlgorithmId::ProgressiveRadixsortMsd => Some(Algorithm::RadixsortMsd),
+            AlgorithmId::ProgressiveRadixsortLsd => Some(Algorithm::RadixsortLsd),
+            AlgorithmId::ProgressiveBucketsort => Some(Algorithm::Bucketsort),
+            _ => None,
         }
     }
 
@@ -174,13 +180,19 @@ mod tests {
         for algo in AlgorithmId::ALL {
             assert_eq!(AlgorithmId::from_label(algo.label()), Some(algo));
         }
-        assert_eq!(AlgorithmId::from_label("pq"), Some(AlgorithmId::ProgressiveQuicksort));
+        assert_eq!(
+            AlgorithmId::from_label("pq"),
+            Some(AlgorithmId::ProgressiveQuicksort)
+        );
         assert_eq!(AlgorithmId::from_label("nope"), None);
     }
 
     #[test]
     fn classification_is_consistent() {
-        let progressive = AlgorithmId::ALL.iter().filter(|a| a.is_progressive()).count();
+        let progressive = AlgorithmId::ALL
+            .iter()
+            .filter(|a| a.is_progressive())
+            .count();
         let adaptive = AlgorithmId::ALL.iter().filter(|a| a.is_adaptive()).count();
         assert_eq!(progressive, 4);
         assert_eq!(adaptive, 5);

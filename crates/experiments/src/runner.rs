@@ -134,7 +134,9 @@ mod tests {
     use std::sync::Arc;
 
     fn small_workload() -> Vec<RangeQuery> {
-        (0..50).map(|i| RangeQuery::new(i * 100, i * 100 + 500)).collect()
+        (0..50)
+            .map(|i| RangeQuery::new(i * 100, i * 100 + 500))
+            .collect()
     }
 
     #[test]

@@ -44,13 +44,19 @@ impl Scale {
         while i < args.len() {
             match args[i].as_str() {
                 "--n" | "--elements" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.replace('_', "").parse().ok()) {
+                    if let Some(v) = args
+                        .get(i + 1)
+                        .and_then(|s| s.replace('_', "").parse().ok())
+                    {
                         scale.column_size = v;
                         i += 1;
                     }
                 }
                 "--queries" | "--q" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.replace('_', "").parse().ok()) {
+                    if let Some(v) = args
+                        .get(i + 1)
+                        .and_then(|s| s.replace('_', "").parse().ok())
+                    {
                         scale.query_count = v;
                         i += 1;
                     }

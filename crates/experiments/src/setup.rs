@@ -23,8 +23,10 @@ pub struct Workload {
 impl Workload {
     /// The SkyServer-substitute workload (Figure 5) at the given scale.
     pub fn skyserver(scale: Scale) -> Self {
-        let generated =
-            skyserver::generate(SkyServerConfig::scaled(scale.column_size, scale.query_count));
+        let generated = skyserver::generate(SkyServerConfig::scaled(
+            scale.column_size,
+            scale.query_count,
+        ));
         Workload {
             name: "skyserver".to_string(),
             column: Arc::new(Column::from_vec(generated.data)),

@@ -38,8 +38,7 @@ pub fn run(scale: Scale, algorithms: &[AlgorithmId]) -> SkyServerComparison {
     let mut results = Vec::new();
     let mut runs = Vec::new();
     for &algorithm in algorithms {
-        let mut index =
-            algorithm.build_with_default_budget(workload.column.clone(), constants);
+        let mut index = algorithm.build_with_default_budget(workload.column.clone(), constants);
         let run = run_workload(index.as_mut(), &workload.queries);
         results.push((algorithm, Metrics::from_run(&run, scan_seconds)));
         runs.push((algorithm, run));
@@ -130,7 +129,9 @@ mod tests {
         assert_eq!(find(AlgorithmId::FullIndex).convergence_query, Some(1));
         assert_eq!(find(AlgorithmId::FullScan).convergence_query, None);
         // The progressive techniques converge on this small workload.
-        assert!(find(AlgorithmId::ProgressiveQuicksort).convergence_query.is_some());
+        assert!(find(AlgorithmId::ProgressiveQuicksort)
+            .convergence_query
+            .is_some());
     }
 
     #[test]
@@ -138,7 +139,10 @@ mod tests {
         let c = quick_comparison();
         let series = figure10_series(
             &c,
-            &[AlgorithmId::ProgressiveQuicksort, AlgorithmId::AdaptiveAdaptive],
+            &[
+                AlgorithmId::ProgressiveQuicksort,
+                AlgorithmId::AdaptiveAdaptive,
+            ],
         );
         assert_eq!(series.row_count(), 2 * Scale::TINY.query_count);
     }

@@ -175,9 +175,9 @@ pub fn to_table(cells: &[GridCell], metric: GridMetric) -> Table {
             let mut row = vec![block.label().to_string(), pattern.label().to_string()];
             let mut any = false;
             for algorithm in GRID_ALGORITHMS {
-                let cell = cells.iter().find(|c| {
-                    c.block == block && c.pattern == pattern && c.algorithm == algorithm
-                });
+                let cell = cells
+                    .iter()
+                    .find(|c| c.block == block && c.pattern == pattern && c.algorithm == algorithm);
                 match cell {
                     Some(c) => {
                         row.push(metric.extract(&c.metrics));
@@ -209,7 +209,11 @@ mod tests {
             cells.len(),
             Block::PointQuery.patterns().len() * GRID_ALGORITHMS.len()
         );
-        for metric in [GridMetric::FirstQuery, GridMetric::Cumulative, GridMetric::Robustness] {
+        for metric in [
+            GridMetric::FirstQuery,
+            GridMetric::Cumulative,
+            GridMetric::Robustness,
+        ] {
             let table = to_table(&cells, metric);
             assert_eq!(table.row_count(), Block::PointQuery.patterns().len());
         }

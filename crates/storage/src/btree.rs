@@ -361,7 +361,13 @@ mod tests {
     fn range_sum_matches_full_scan() {
         let data = sorted_data(5_000);
         let tree = StaticBTree::build_default(&data);
-        for (lo, hi) in [(0, 4_999), (100, 200), (2_500, 2_500), (6_000, 9_000), (10, 5)] {
+        for (lo, hi) in [
+            (0, 4_999),
+            (100, 200),
+            (2_500, 2_500),
+            (6_000, 9_000),
+            (10, 5),
+        ] {
             assert_eq!(
                 tree.range_sum(&data, lo, hi),
                 scan_range_sum(&data, lo, hi),

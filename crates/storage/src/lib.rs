@@ -15,6 +15,9 @@
 //!   array, the target structure of the *consolidation phase* and the
 //!   *Full Index* baseline. Construction can be performed incrementally so
 //!   that a progressive index can spread the build cost over many queries.
+//! * [`shard`] — equi-depth value-range partitioning of a column into
+//!   independent shards, the storage substrate of the `pi-engine` serving
+//!   layer.
 //!
 //! The crate is deliberately dependency-free and single-threaded: the
 //! progressive indexing model performs indexing work inside the query
@@ -38,8 +41,10 @@
 pub mod btree;
 pub mod column;
 pub mod scan;
+pub mod shard;
 pub mod sorted;
 
 pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
 pub use column::{Column, Value};
 pub use scan::ScanResult;
+pub use shard::RangePartition;

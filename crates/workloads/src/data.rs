@@ -127,10 +127,7 @@ mod tests {
         let domain = n as u64;
         let hot_start = domain * 45 / 100;
         let hot_end = domain * 55 / 100;
-        let in_hot = v
-            .iter()
-            .filter(|&&x| x >= hot_start && x < hot_end)
-            .count();
+        let in_hot = v.iter().filter(|&&x| x >= hot_start && x < hot_end).count();
         // 90% target plus the ~1% of background values that land there.
         let fraction = in_hot as f64 / n as f64;
         assert!(

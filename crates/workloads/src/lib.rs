@@ -12,6 +12,8 @@
 //! * [`skyserver`] — a synthetic substitute for the SkyServer benchmark of
 //!   Figure 5: a clustered, multi-modal data distribution plus a
 //!   dwell-drift-jump query log.
+//! * [`multi_client`] — per-client query streams (deterministic per seed)
+//!   for the `pi-engine` concurrent serving layer.
 //!
 //! All generators are deterministic given a seed, and all sizes are
 //! parameters so the same code scales from unit tests to full experiment
@@ -33,9 +35,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod data;
+pub mod multi_client;
 pub mod patterns;
 pub mod skyserver;
 
 pub use data::Distribution;
+pub use multi_client::{ClientStream, MultiClientSpec, PatternAssignment};
 pub use patterns::{Pattern, RangeQuery, WorkloadSpec};
 pub use skyserver::{SkyServerConfig, SkyServerWorkload};

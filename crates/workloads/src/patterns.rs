@@ -150,7 +150,7 @@ impl WorkloadSpec {
             query_count,
             selectivity: 0.1,
             point_queries: false,
-            seed: 0xF1_6,
+            seed: 0xF16,
         }
     }
 
@@ -271,9 +271,7 @@ pub fn generate(pattern: Pattern, spec: &WorkloadSpec) -> Vec<RangeQuery> {
                 let min_half = 1u64;
                 let max_half = seg_span / 2;
                 let shrink = (max_half.saturating_sub(min_half) / per_segment).max(1);
-                let half = max_half
-                    .saturating_sub(step_in_seg * shrink)
-                    .max(min_half);
+                let half = max_half.saturating_sub(step_in_seg * shrink).max(min_half);
                 let low = center.saturating_sub(half);
                 let high = (center + half).min(spec.domain - 1);
                 queries.push(RangeQuery::new(low, high));

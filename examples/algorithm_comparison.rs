@@ -16,9 +16,7 @@ use pi_experiments::runner::run_workload;
 use pi_experiments::scale::{measure_scan_seconds, Scale};
 use pi_experiments::setup::Workload;
 use progressive_indexes::index::cost_model::CostConstants;
-use progressive_indexes::index::decision::{
-    recommend, DataDistribution, QueryShape, Scenario,
-};
+use progressive_indexes::index::decision::{recommend, DataDistribution, QueryShape, Scenario};
 use progressive_indexes::workloads::{Distribution, Pattern};
 
 fn main() {
@@ -46,8 +44,7 @@ fn main() {
         "cumulative_s",
     ]);
     for algorithm in AlgorithmId::ALL {
-        let mut index =
-            algorithm.build_with_default_budget(workload.column.clone(), constants);
+        let mut index = algorithm.build_with_default_budget(workload.column.clone(), constants);
         let run = run_workload(index.as_mut(), &workload.queries);
         let metrics = Metrics::from_run(&run, scan_seconds);
         table.push_row([

@@ -40,7 +40,11 @@ fn main() {
     let mut progressive_total = 0.0f64;
     let mut converged_at: Option<usize> = None;
 
-    println!("exploration session: {} queries over {} rows", queries.len(), column.len());
+    println!(
+        "exploration session: {} queries over {} rows",
+        queries.len(),
+        column.len()
+    );
     println!(
         "{:<8} {:>16} {:>16} {:>10}",
         "query", "full scan (µs)", "progressive (µs)", "phase"
@@ -57,7 +61,10 @@ fn main() {
         let progressive_micros = start.elapsed().as_secs_f64() * 1e6;
         progressive_total += progressive_micros;
 
-        assert_eq!(scan_answer.sum, progressive_answer.sum, "answers must agree");
+        assert_eq!(
+            scan_answer.sum, progressive_answer.sum,
+            "answers must agree"
+        );
         if converged_at.is_none() && index.is_converged() {
             converged_at = Some(i + 1);
         }
@@ -72,10 +79,18 @@ fn main() {
         }
     }
 
-    println!("\ncumulative full-scan time:    {:>10.1} ms", scan_total / 1e3);
-    println!("cumulative progressive time:  {:>10.1} ms", progressive_total / 1e3);
+    println!(
+        "\ncumulative full-scan time:    {:>10.1} ms",
+        scan_total / 1e3
+    );
+    println!(
+        "cumulative progressive time:  {:>10.1} ms",
+        progressive_total / 1e3
+    );
     match converged_at {
-        Some(q) => println!("progressive index converged after query {q}; every later query is an index lookup."),
+        Some(q) => println!(
+            "progressive index converged after query {q}; every later query is an index lookup."
+        ),
         None => println!("progressive index had not converged by the end of the session."),
     }
     println!(

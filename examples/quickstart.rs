@@ -28,7 +28,10 @@ fn main() {
     let mut index = ProgressiveQuicksort::with_constants(Arc::clone(&column), policy, constants);
 
     println!("progressive quicksort over {n} rows, budget = 0.2 x scan cost");
-    println!("{:<8} {:>12} {:>12} {:>14} {:>12}", "query", "time (µs)", "rows", "phase", "converged");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>12}",
+        "query", "time (µs)", "rows", "phase", "converged"
+    );
 
     // The same analytical query, repeated: SELECT SUM(a) WHERE a BETWEEN ..
     let (low, high) = (250_000, 350_000);
@@ -38,7 +41,7 @@ fn main() {
         let start = Instant::now();
         let result = index.query(low, high);
         let elapsed = start.elapsed().as_micros();
-        if query_number <= 10 || query_number % 25 == 0 || index.is_converged() {
+        if query_number <= 10 || query_number.is_multiple_of(25) || index.is_converged() {
             println!(
                 "{:<8} {:>12} {:>12} {:>14} {:>12}",
                 query_number,

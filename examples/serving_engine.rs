@@ -1,0 +1,114 @@
+//! Serve a multi-column table from concurrent clients with `pi-engine`.
+//!
+//! Builds a two-column table (uniform and skewed data), lets the Figure-11
+//! decision tree pick each column's algorithm from the estimated
+//! distribution, then serves eight concurrent clients — one Figure-6
+//! pattern each — while printing per-column convergence as the shards
+//! refine themselves as a side effect of the traffic.
+//!
+//! ```bash
+//! cargo run --release --example serving_engine
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use progressive_indexes::engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
+use progressive_indexes::index::budget::BudgetPolicy;
+use progressive_indexes::workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
+use progressive_indexes::workloads::{data, Distribution, WorkloadSpec};
+
+const ROWS: usize = 500_000;
+const SHARDS: usize = 8;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 200;
+
+fn main() {
+    let uniform = data::generate(Distribution::UniformRandom, ROWS, 1);
+    let skewed = data::generate(Distribution::Skewed, ROWS, 2);
+
+    let table = Arc::new(
+        Table::builder()
+            .column(
+                ColumnSpec::new("uniform", uniform)
+                    .with_shards(SHARDS)
+                    .with_policy(BudgetPolicy::FixedDelta(0.25)),
+            )
+            .column(
+                ColumnSpec::new("skewed", skewed)
+                    .with_shards(SHARDS)
+                    .with_policy(BudgetPolicy::FixedDelta(0.25)),
+            )
+            .build(),
+    );
+
+    println!("table: {ROWS} rows x 2 columns, {SHARDS} shards each");
+    for column in table.columns() {
+        println!(
+            "  column {:>8}: decision tree chose {}",
+            column.name(),
+            column.algorithm()
+        );
+    }
+
+    let executor = Arc::new(Executor::with_config(
+        Arc::clone(&table),
+        ExecutorConfig {
+            worker_threads: SHARDS,
+            maintenance_steps: 16,
+        },
+    ));
+
+    let streams = multi_client::generate(&MultiClientSpec {
+        clients: CLIENTS,
+        base: WorkloadSpec::range(ROWS as u64, QUERIES_PER_CLIENT),
+        assignment: PatternAssignment::AllPatterns,
+    });
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let executor = Arc::clone(&executor);
+            scope.spawn(move || {
+                for chunk in stream.queries.chunks(20) {
+                    let column = if stream.client % 2 == 0 {
+                        "uniform"
+                    } else {
+                        "skewed"
+                    };
+                    let batch: Vec<TableQuery> = chunk
+                        .iter()
+                        .map(|q| TableQuery::new(column, q.low, q.high))
+                        .collect();
+                    executor.execute_batch(&batch).expect("known column");
+                }
+            });
+        }
+    });
+    let served = CLIENTS * QUERIES_PER_CLIENT;
+    let elapsed = start.elapsed();
+    println!(
+        "\nserved {served} queries from {CLIENTS} clients in {elapsed:.2?} \
+         ({:.0} queries/s)",
+        served as f64 / elapsed.as_secs_f64()
+    );
+
+    for (name, status) in table.status() {
+        println!(
+            "  column {name:>8}: phase {:>13}, {:>5.1}% indexed, converged: {}",
+            status.phase.to_string(),
+            status.fraction_indexed * 100.0,
+            status.converged
+        );
+    }
+
+    let steps = executor.drive_to_convergence(usize::MAX);
+    println!("\nmaintenance spent {steps} budgeted steps to finish convergence");
+    for (name, status) in table.status() {
+        println!(
+            "  column {name:>8}: phase {:>13}, converged: {}",
+            status.phase.to_string(),
+            status.converged
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset of the `criterion 0.5` API this workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`] and [`black_box`] — and reports mean wall-clock time
+//! per iteration to stdout. No statistics, plots or baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; only a marker in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (batch of one).
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly until the sample count or the
+    /// measurement-time budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while iterations < self.samples as u64 && start.elapsed() < self.measurement_time {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations.max(1);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut timed = Duration::ZERO;
+        let mut iterations = 0u64;
+        let wall = Instant::now();
+        while iterations < self.samples as u64 && wall.elapsed() < self.measurement_time {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iterations += 1;
+        }
+        self.elapsed = timed;
+        self.iterations = iterations.max(1);
+    }
+}
+
+fn report(path: &str, elapsed: Duration, iterations: u64) {
+    let per_iter = elapsed.as_secs_f64() / iterations as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{path:<60} time: {value:>10.3} {unit}/iter ({iterations} iterations)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion.run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one benchmark of the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.criterion
+            .run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Declares a throughput hint; ignored by this shim.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Throughput hints, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement-time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time (the shim warms up with a single call).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, path: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            // The routine never called iter(); nothing to report.
+            println!("{path:<60} (no measurement)");
+        } else {
+            report(path, bencher.elapsed, bencher.iterations);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function(BenchmarkId::new("iter", 1), |b| b.iter(|| 2 + 2));
+        group.bench_function("plain", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

@@ -11,15 +11,22 @@
 //! * [`cracking`] — adaptive-indexing baselines: database cracking and its
 //!   variants, plus full-scan / full-index references ([`pi_cracking`]).
 //! * [`workloads`] — synthetic data and query-pattern generators, including
-//!   the SkyServer-like workload ([`pi_workloads`]).
+//!   the SkyServer-like workload and multi-client streams
+//!   ([`pi_workloads`]).
+//! * [`engine`] — the sharded, concurrent query-serving engine: multi-column
+//!   tables, range shards, batched parallel execution ([`pi_engine`]).
+//! * [`experiments`] — the harness reproducing the paper's figures and
+//!   tables ([`pi_experiments`]).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
 
 #![warn(missing_docs)]
 
-pub use pi_cracking as cracking;
 pub use pi_core as index;
+pub use pi_cracking as cracking;
+pub use pi_engine as engine;
+pub use pi_experiments as experiments;
 pub use pi_storage as storage;
 pub use pi_workloads as workloads;
 

@@ -62,11 +62,8 @@ fn every_progressive_algorithm_converges_under_every_policy() {
     let reference = ReferenceIndex::new(&column);
     for algorithm in AlgorithmId::PROGRESSIVE {
         for (policy_name, policy) in policies(N) {
-            let mut index = algorithm.build(
-                Arc::clone(&column),
-                policy,
-                CostConstants::synthetic(),
-            );
+            let mut index =
+                algorithm.build(Arc::clone(&column), policy, CostConstants::synthetic());
             let queries = drive_to_convergence(
                 &mut index,
                 &reference,
@@ -161,7 +158,10 @@ fn convergence_is_deterministic_for_identical_inputs() {
         };
         let a = run(Arc::clone(&column));
         let b = run(Arc::clone(&column));
-        assert_eq!(a, b, "{algorithm}: convergence query count must be deterministic");
+        assert_eq!(
+            a, b,
+            "{algorithm}: convergence query count must be deterministic"
+        );
     }
 }
 

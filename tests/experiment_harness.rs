@@ -69,7 +69,10 @@ fn table2_reproduces_the_headline_comparison() {
 
     let fig10 = skyserver_comparison::figure10_series(
         &comparison,
-        &[AlgorithmId::ProgressiveQuicksort, AlgorithmId::AdaptiveAdaptive],
+        &[
+            AlgorithmId::ProgressiveQuicksort,
+            AlgorithmId::AdaptiveAdaptive,
+        ],
     );
     assert_eq!(fig10.row_count(), 2 * TINY.query_count);
 }
