@@ -1,22 +1,75 @@
 //! Serving-engine throughput: queries/second as a function of shard count
-//! (1, 2, 4, 8) and per-query indexing budget δ. The scaling baseline for
-//! future serving-layer PRs (async serving, caching, multi-backend).
+//! (1, 2, 4, 8) and per-query indexing budget δ, plus the full
+//! server-front-end stack. The scaling baseline for serving-layer PRs.
+//!
+//! Every group compares configurations against each other, so the
+//! measurement design is **paired**: each sampling round times every
+//! configuration back to back (fresh state per time, round-robin) instead
+//! of giving each configuration its own multi-second window. On a host
+//! whose effective speed drifts, per-configuration windows turn the
+//! comparison into a lottery over *when* a configuration was measured;
+//! pairing cancels the drift out. Per configuration the JSON reports the
+//! median round (the fair cross-configuration estimator under pairing)
+//! plus the fastest round.
+//!
+//! Besides the human-readable report, a full run writes the numbers to
+//! `BENCH_engine.json` at the repository root so the perf trajectory is
+//! tracked across PRs. Setting `PI_BENCH_SMOKE=1` runs a sized-down
+//! iteration (CI smoke: the bench target cannot bitrot) without touching
+//! the committed JSON.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, BenchResult, Criterion};
 
 use pi_bench::BENCH_SCALE;
 use pi_core::budget::BudgetPolicy;
-use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
+use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
+use pi_sched::ServerConfig;
+use pi_workloads::closed_loop::{self, BatchOutcome};
 use pi_workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
 use pi_workloads::{data, Distribution, WorkloadSpec};
 
 const CLIENT_THREADS: usize = 4;
-const QUERIES_PER_CLIENT: usize = 50;
+const QUERIES_PER_CLIENT: usize = 150;
 
-fn build_executor(rows: usize, shards: usize, delta: f64) -> Executor {
-    let values = data::generate(Distribution::UniformRandom, rows, 31);
+/// Per-run sizing: the default bench scale, or a CI smoke iteration.
+#[derive(Clone, Copy)]
+struct BenchParams {
+    rows: usize,
+    queries_per_client: usize,
+    /// Paired sampling rounds per group.
+    rounds: usize,
+    smoke: bool,
+}
+
+impl BenchParams {
+    fn from_env() -> Self {
+        if std::env::var_os("PI_BENCH_SMOKE").is_some() {
+            BenchParams {
+                rows: 20_000,
+                queries_per_client: 10,
+                rounds: 1,
+                smoke: true,
+            }
+        } else {
+            BenchParams {
+                rows: BENCH_SCALE.column_size,
+                queries_per_client: QUERIES_PER_CLIENT,
+                rounds: 50,
+                smoke: false,
+            }
+        }
+    }
+
+    fn queries_per_run(&self) -> usize {
+        CLIENT_THREADS * self.queries_per_client
+    }
+}
+
+fn build_executor(params: BenchParams, shards: usize, delta: f64) -> Executor {
+    let values = data::generate(Distribution::UniformRandom, params.rows, 31);
     let table = Arc::new(
         Table::builder()
             .column(
@@ -29,84 +82,242 @@ fn build_executor(rows: usize, shards: usize, delta: f64) -> Executor {
     Executor::with_config(
         table,
         ExecutorConfig {
-            worker_threads: shards.min(8),
             maintenance_steps: 2,
+            ..ExecutorConfig::default()
         },
     )
 }
 
-/// Runs `CLIENT_THREADS` concurrent clients, each submitting its stream in
-/// batches of ten; returns the total number of queries served.
-fn serve(executor: &Executor, rows: usize) -> usize {
-    let streams = multi_client::generate(&MultiClientSpec {
+/// The `CLIENT_THREADS` per-client query streams — deterministic, so they
+/// are generated once per group, outside the timed serves.
+fn client_streams(params: BenchParams) -> Vec<multi_client::ClientStream> {
+    multi_client::generate(&MultiClientSpec {
         clients: CLIENT_THREADS,
-        base: WorkloadSpec::range(rows as u64, QUERIES_PER_CLIENT),
+        base: WorkloadSpec::range(params.rows as u64, params.queries_per_client),
         assignment: PatternAssignment::AllPatterns,
+    })
+}
+
+/// Runs `CLIENT_THREADS` concurrent closed-loop clients, each submitting
+/// its stream in batches of ten; returns the total number of queries
+/// served.
+fn serve(executor: &Executor, streams: &[multi_client::ClientStream]) -> usize {
+    let report = closed_loop::drive(streams, 10, |_client, chunk| {
+        let batch: Vec<TableQuery> = chunk
+            .iter()
+            .map(|q| TableQuery::new("a", q.low, q.high))
+            .collect();
+        black_box(executor.execute_batch(&batch).expect("known column"));
+        BatchOutcome::Served
     });
-    std::thread::scope(|scope| {
-        for stream in &streams {
-            scope.spawn(move || {
-                for chunk in stream.queries.chunks(10) {
-                    let batch: Vec<TableQuery> = chunk
-                        .iter()
-                        .map(|q| TableQuery::new("a", q.low, q.high))
-                        .collect();
-                    black_box(executor.execute_batch(&batch).expect("known column"));
-                }
-            });
+    report.served
+}
+
+/// Like [`serve`], but through the `pi-sched` server front-end (bounded
+/// queue, coalescing across clients).
+fn serve_via_server(server: &TableServer, streams: &[multi_client::ClientStream]) -> usize {
+    let report = closed_loop::drive(streams, 10, |_client, chunk| {
+        let batch: Vec<TableQuery> = chunk
+            .iter()
+            .map(|q| TableQuery::new("a", q.low, q.high))
+            .collect();
+        black_box(
+            server
+                .submit(batch)
+                .expect("server accepting")
+                .wait()
+                .expect("known column"),
+        );
+        BatchOutcome::Served
+    });
+    report.served
+}
+
+/// Sample accumulator for one configuration of a paired group. The
+/// headline estimator is the **median** round: with pairing, every
+/// configuration sees the same host conditions each round, so medians
+/// compare configurations fairly, while a min-vs-min comparison rewards
+/// whichever configuration had the single luckiest round (an
+/// extreme-value statistic) and mean-vs-mean is dominated by the slowest
+/// rounds.
+struct Paired {
+    id: String,
+    samples: Vec<f64>,
+}
+
+impl Paired {
+    fn new(id: String) -> Self {
+        Paired {
+            id,
+            samples: Vec::new(),
         }
+    }
+
+    fn add(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    fn record(mut self, c: &Criterion) {
+        self.samples.sort_by(f64::total_cmp);
+        let n = self.samples.len();
+        let median = if n % 2 == 1 {
+            self.samples[n / 2]
+        } else {
+            (self.samples[n / 2 - 1] + self.samples[n / 2]) / 2.0
+        };
+        c.record_result(BenchResult {
+            id: self.id,
+            seconds_per_iter: median,
+            min_seconds_per_iter: self.samples[0],
+            iterations: n as u64,
+        });
+    }
+}
+
+/// Paired measurement of one group: every round visits all
+/// configurations back to back. `routine(config_index)` runs one sample
+/// and returns the measured serve time — setup (table build) stays
+/// outside the measurement, like `iter_batched`.
+fn paired_rounds<F>(c: &Criterion, ids: Vec<String>, rounds: usize, mut routine: F)
+where
+    F: FnMut(usize) -> std::time::Duration,
+{
+    let mut acc: Vec<Paired> = ids.into_iter().map(Paired::new).collect();
+    let n = acc.len();
+    for round in 0..rounds {
+        // Ping-pong the visit order so a drift trend within one round
+        // penalises the first and last configuration alternately.
+        for k in 0..n {
+            let i = if round % 2 == 0 { k } else { n - 1 - k };
+            acc[i].add(routine(i).as_secs_f64());
+        }
+    }
+    for slot in acc {
+        slot.record(c);
+    }
+}
+
+fn bench_shard_scaling(c: &Criterion, params: BenchParams) {
+    const SHARDS: [usize; 4] = [1, 2, 4, 8];
+    let ids = SHARDS
+        .iter()
+        .map(|s| format!("engine_throughput/shards/serve/{s}"))
+        .collect();
+    let streams = client_streams(params);
+    // A fresh table per measurement so every sample pays the same mix of
+    // indexing work (cold start → refinement).
+    paired_rounds(c, ids, params.rounds, |i| {
+        let executor = build_executor(params, SHARDS[i], 0.25);
+        let start = Instant::now();
+        black_box(serve(&executor, &streams));
+        start.elapsed()
     });
-    CLIENT_THREADS * QUERIES_PER_CLIENT
 }
 
-fn bench_shard_scaling(c: &mut Criterion) {
-    let rows = BENCH_SCALE.column_size;
-    let mut group = c.benchmark_group("engine_throughput/shards");
-    for shards in [1usize, 2, 4, 8] {
-        group.bench_function(BenchmarkId::new("serve", shards), |b| {
-            // A fresh table per measurement so every sample pays the same
-            // mix of indexing work (cold start → refinement).
-            b.iter_batched(
-                || build_executor(rows, shards, 0.25),
-                |executor| serve(&executor, rows),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+fn bench_budget_impact(c: &Criterion, params: BenchParams) {
+    const DELTAS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
+    let ids = DELTAS
+        .iter()
+        .map(|d| format!("engine_throughput/delta/serve_4_shards/{d}"))
+        .collect();
+    let streams = client_streams(params);
+    paired_rounds(c, ids, params.rounds, |i| {
+        let executor = build_executor(params, 4, DELTAS[i]);
+        let start = Instant::now();
+        black_box(serve(&executor, &streams));
+        start.elapsed()
+    });
+}
+
+fn bench_converged_serving(c: &Criterion, params: BenchParams) {
+    const SHARDS: [usize; 2] = [1, 4];
+    let executors: Vec<Executor> = SHARDS
+        .iter()
+        .map(|&shards| {
+            let executor = build_executor(params, shards, 1.0);
+            executor.drive_to_convergence(usize::MAX);
+            executor
+        })
+        .collect();
+    let ids = SHARDS
+        .iter()
+        .map(|s| format!("engine_throughput/converged/serve/{s}"))
+        .collect();
+    let streams = client_streams(params);
+    paired_rounds(c, ids, params.rounds, |i| {
+        let start = Instant::now();
+        black_box(serve(&executors[i], &streams));
+        start.elapsed()
+    });
+}
+
+fn bench_server_front_end(c: &Criterion, params: BenchParams) {
+    const SHARDS: [usize; 2] = [1, 8];
+    let streams = client_streams(params);
+    let ids = SHARDS
+        .iter()
+        .map(|s| format!("engine_throughput/server/serve/{s}"))
+        .collect();
+    paired_rounds(c, ids, params.rounds, |i| {
+        let server = TableServer::new(
+            Arc::new(build_executor(params, SHARDS[i], 0.25)),
+            ServerConfig::default(),
+        );
+        let start = Instant::now();
+        black_box(serve_via_server(&server, &streams));
+        let elapsed = start.elapsed();
+        server.shutdown();
+        elapsed
+    });
+}
+
+/// Renders the results as `BENCH_engine.json`: queries/s per benchmark,
+/// grouped the way the ids are (`shards`, `delta`, `converged`,
+/// `server`). `queries_per_second` comes from the **median** paired
+/// round (see [`Paired`]); the fastest round rides along as
+/// `min_seconds_per_iter`.
+fn write_json(c: &Criterion, params: BenchParams) {
+    let queries = params.queries_per_run() as f64;
+    let mut entries = String::new();
+    for (i, result) in c.results().iter().enumerate() {
+        let qps = queries / result.seconds_per_iter;
+        // `engine_throughput/<group>/serve[.../]<param>` → group + param.
+        let mut parts = result.id.split('/');
+        let _prefix = parts.next();
+        let group = parts.next().unwrap_or("unknown");
+        let param = parts.next_back().unwrap_or("?");
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"group\": \"{group}\", \"param\": \"{param}\", \
+             \"queries_per_second\": {qps:.1}, \
+             \"median_seconds_per_iter\": {:.6}, \
+             \"min_seconds_per_iter\": {:.6}, \"iterations\": {}}}",
+            result.seconds_per_iter, result.min_seconds_per_iter, result.iterations
+        ));
     }
-    group.finish();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"rows\": {},\n  \
+         \"clients\": {CLIENT_THREADS},\n  \"queries_per_client\": {},\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n",
+        params.rows, params.queries_per_client
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json).expect("failed to write BENCH_engine.json");
+    println!("\nwrote {path}");
 }
 
-fn bench_budget_impact(c: &mut Criterion) {
-    let rows = BENCH_SCALE.column_size;
-    let mut group = c.benchmark_group("engine_throughput/delta");
-    for delta in [0.1f64, 0.25, 0.5, 1.0] {
-        group.bench_function(BenchmarkId::new("serve_4_shards", delta), |b| {
-            b.iter_batched(
-                || build_executor(rows, 4, delta),
-                |executor| serve(&executor, rows),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+fn main() {
+    let params = BenchParams::from_env();
+    let c = Criterion::default();
+    bench_shard_scaling(&c, params);
+    bench_budget_impact(&c, params);
+    bench_converged_serving(&c, params);
+    bench_server_front_end(&c, params);
+    if params.smoke {
+        println!("\nsmoke iteration complete ({} results)", c.results().len());
+    } else {
+        write_json(&c, params);
     }
-    group.finish();
 }
-
-fn bench_converged_serving(c: &mut Criterion) {
-    let rows = BENCH_SCALE.column_size;
-    let mut group = c.benchmark_group("engine_throughput/converged");
-    for shards in [1usize, 4] {
-        let executor = build_executor(rows, shards, 1.0);
-        executor.drive_to_convergence(usize::MAX);
-        group.bench_function(BenchmarkId::new("serve", shards), |b| {
-            b.iter(|| serve(&executor, rows))
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_shard_scaling, bench_budget_impact, bench_converged_serving
-);
-criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! | Figures 8 & 9 (budget modes) | `fig8_fig9_budgets` |
 //! | Table 2 / Figure 10 (SkyServer comparison) | `table2_fig10_skyserver` |
 //! | Tables 3–5 (synthetic grid) | `tables3_4_5_synthetic` |
+//! | serving-engine scaling (not in the paper) | `engine_throughput` — writes `BENCH_engine.json`; `PI_BENCH_SMOKE=1` for the CI smoke iteration |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

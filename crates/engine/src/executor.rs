@@ -1,33 +1,47 @@
-//! Batched, shard-parallel query execution with an amortized per-batch
-//! indexing budget.
+//! Batched, shard-parallel query execution on a persistent scheduler,
+//! with an amortized per-batch indexing budget.
 //!
 //! The paper bounds the *extra* work any single query performs by the
 //! indexing budget δ. The executor extends that guarantee to concurrent
 //! serving:
 //!
-//! * **Fan-out** — each query of a batch is decomposed into one sub-query
-//!   per overlapping shard; the per-(column, shard) sub-query lists are
-//!   processed by a bounded worker pool in parallel and the partial
-//!   [`ScanResult`]s are merged per query. A shard performs its budgeted
-//!   δ-slice of indexing work for every sub-query it answers, on a shard
-//!   that holds only ~`rows / shard_count` elements — so the extra work a
-//!   query pays stays bounded even when it spans several shards.
-//! * **Maintenance budget** — after answering, the executor spends at most
-//!   [`ExecutorConfig::maintenance_steps`] additional empty-query steps
-//!   per batch, round-robin over the not-yet-converged shards the batch
-//!   did *not* touch. Cold shards therefore keep converging under any
-//!   workload pattern without ever exceeding a fixed per-batch indexing
-//!   budget — the engine-level analogue of the paper's robustness
-//!   guarantee.
+//! * **Fan-out on a persistent pool** — each query of a batch is
+//!   decomposed into one sub-query list per overlapping `(column, shard)`;
+//!   the shard tasks are dispatched onto a persistent, shard-affine
+//!   [`pi_sched::Pool`] (shards pinned to workers by row weight for cache
+//!   locality, work-stealing for balance, the submitting client helps
+//!   drain) and the partial [`ScanResult`]s are merged per query. A shard
+//!   performs its budgeted δ-slice of indexing work for every sub-query it
+//!   answers, on a shard that holds only ~`rows / shard_count` elements —
+//!   so the extra work a query pays stays bounded even when it spans
+//!   several shards. Nothing is spawned per batch: the pool outlives every
+//!   batch, which is what makes shard-parallelism profitable at
+//!   microsecond task granularity.
+//! * **Maintenance budget** — after answering, a fire-and-forget pool job
+//!   spends at most [`ExecutorConfig::maintenance_steps`] additional
+//!   empty-query steps per batch, round-robin over the not-yet-converged
+//!   shards the batch did *not* touch, off the client's critical path.
+//! * **Idle-cycle maintenance** — when
+//!   [`ExecutorConfig::background_maintenance`] is on (the default), pool
+//!   workers donate their idle cycles to the same round-robin maintenance.
+//!   Each idle cycle advances one shard by up to its column's shard count
+//!   of budgeted steps under a single lock acquisition (roughly a whole
+//!   column-δ of work), so finer sharding does not multiply the lock
+//!   round-trips contending with serving threads. Cold shards therefore
+//!   converge even under a workload that *never* queries their range,
+//!   without ever exceeding the fixed per-batch budget on the serving
+//!   path — the engine-level analogue of the paper's robustness guarantee.
 //!
 //! The executor is `Sync`: any number of client threads may call
 //! [`Executor::execute_batch`] concurrently on one shared instance. Shard
 //! state is guarded by per-shard mutexes, so two clients only contend when
 //! their queries genuinely touch the same shard.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use pi_core::budget::StepBudget;
+use pi_sched::{plan_affinity, BatchExecutor, Job, Pool, PoolConfig, PoolStats};
 use pi_storage::scan::ScanResult;
 use pi_storage::Value;
 
@@ -76,13 +90,16 @@ impl std::error::Error for EngineError {}
 /// Executor tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorConfig {
-    /// Maximum number of worker threads a single batch fans out to.
+    /// Number of persistent pool workers the executor keeps alive.
     /// Defaults to the machine's available parallelism.
     pub worker_threads: usize,
     /// Maintenance budget: maximum number of additional budgeted indexing
     /// steps (empty queries) spent per batch on shards the batch did not
     /// touch.
     pub maintenance_steps: usize,
+    /// Donate the pool's idle cycles to cold-shard maintenance, so every
+    /// shard converges even when its value range is never queried.
+    pub background_maintenance: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -92,6 +109,17 @@ impl Default for ExecutorConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             maintenance_steps: 4,
+            background_maintenance: true,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// `worker_threads = workers`, other knobs at their defaults.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecutorConfig {
+            worker_threads: workers,
+            ..ExecutorConfig::default()
         }
     }
 }
@@ -105,15 +133,138 @@ struct ShardTask {
     sub_queries: Vec<(usize, Value, Value)>,
 }
 
-/// Shard-parallel batch executor over a shared [`Table`].
+/// The shared maintenance state: which shards exist and where the
+/// round-robin cursor stands. Shared between the executor, its per-batch
+/// maintenance jobs and the pool's idle hook, all of which outlive any
+/// single borrow of the executor.
+struct MaintenanceState {
+    table: Arc<Table>,
+    /// Flat `(column, shard)` addresses of every shard; the table shape is
+    /// immutable after construction, so this is computed once.
+    addresses: Vec<(usize, usize)>,
+    /// Round-robin cursor over `addresses`.
+    cursor: AtomicUsize,
+    /// Per-address converged cache. Convergence is monotone (a converged
+    /// index never regresses), so once set a sweep skips the shard without
+    /// touching its mutex — in the steady state maintenance stops
+    /// contending with serving threads entirely.
+    converged: Vec<AtomicBool>,
+    /// Set once a full sweep found every shard converged; lets the
+    /// executor stop spawning per-batch maintenance jobs (and waking pool
+    /// workers) altogether.
+    all_converged: AtomicBool,
+}
+
+impl MaintenanceState {
+    /// Tries up to `steps` budgeted steps on the shard at flat address
+    /// `at` (one lock acquisition), going through the converged cache.
+    /// Returns the steps performed; records newly observed convergence.
+    fn advance_at(&self, at: usize, steps: usize) -> usize {
+        if self.converged[at].load(Ordering::Relaxed) {
+            return 0;
+        }
+        let (c, s) = self.addresses[at];
+        let performed = self.table.columns()[c].advance_shard_by(s, steps);
+        if performed < steps {
+            self.converged[at].store(true, Ordering::Relaxed);
+        }
+        performed
+    }
+
+    /// `true` once every shard's convergence has been observed by a sweep.
+    fn is_all_converged(&self) -> bool {
+        self.all_converged.load(Ordering::Relaxed)
+    }
+
+    /// Called when a full sweep performed no work: if the converged cache
+    /// now covers every shard, latch the terminal state.
+    fn note_exhausted_sweep(&self) {
+        if self
+            .converged
+            .iter()
+            .all(|flag| flag.load(Ordering::Relaxed))
+        {
+            self.all_converged.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Spends up to `steps` budgeted steps on unconverged shards outside
+    /// `touched` (a flat-shard-id mask, or empty for "none"), round-robin.
+    /// Returns the steps actually performed.
+    fn run_round(&self, steps: usize, touched: &[bool]) -> usize {
+        let total = self.addresses.len();
+        if total == 0 || steps == 0 || self.is_all_converged() {
+            return 0;
+        }
+        let mut performed = 0;
+        let mut visited = 0;
+        while performed < steps && visited < total {
+            let at = self.cursor.fetch_add(1, Ordering::Relaxed) % total;
+            visited += 1;
+            if touched.get(at).copied().unwrap_or(false) {
+                continue;
+            }
+            performed += self.advance_at(at, 1);
+        }
+        if performed == 0 && visited >= total {
+            self.note_exhausted_sweep();
+        }
+        performed
+    }
+
+    /// One sweep of the cursor: advance the first unconverged shard
+    /// found. With `batched`, the steps on that shard are batched so one
+    /// sweep (one shard-lock acquisition) performs roughly a whole
+    /// column-δ of work no matter how finely the column is sharded —
+    /// per-step locking would multiply contention with serving threads
+    /// by the shard count. Returns whether indexing work was performed.
+    fn sweep(&self, batched: bool) -> bool {
+        let total = self.addresses.len();
+        if total == 0 || self.is_all_converged() {
+            return false;
+        }
+        for _ in 0..total {
+            let at = self.cursor.fetch_add(1, Ordering::Relaxed) % total;
+            let steps = if batched {
+                self.table.columns()[self.addresses[at].0].shard_count()
+            } else {
+                1
+            };
+            if self.advance_at(at, steps) > 0 {
+                return true;
+            }
+        }
+        self.note_exhausted_sweep();
+        false
+    }
+
+    /// One idle cycle: a batched [`MaintenanceState::sweep`].
+    fn idle_step(&self) -> bool {
+        self.sweep(true)
+    }
+
+    /// Exactly one budgeted step, for callers that account work step by
+    /// step ([`Executor::drive_to_convergence`]'s shared [`StepBudget`]).
+    fn single_step(&self) -> bool {
+        self.sweep(false)
+    }
+}
+
+/// Shard-parallel batch executor over a shared [`Table`], running on a
+/// persistent [`Pool`].
 pub struct Executor {
     table: Arc<Table>,
     config: ExecutorConfig,
-    /// Flat `(column, shard)` addresses of every shard; the table shape is
-    /// immutable after construction, so this is computed once.
-    shard_addresses: Vec<(usize, usize)>,
-    /// Round-robin cursor over `shard_addresses`, for maintenance.
-    maintenance_cursor: AtomicUsize,
+    maintenance: Arc<MaintenanceState>,
+    /// Worker pinned to each flat shard id (see [`Executor::flat_id`]),
+    /// balanced by shard row count.
+    affinity: Vec<usize>,
+    /// `flat_id(c, s) = column_offsets[c] + s`.
+    column_offsets: Vec<usize>,
+    /// Fire-and-forget maintenance jobs currently enqueued; bounded so a
+    /// saturated pool never accumulates a maintenance backlog.
+    pending_maintenance: Arc<AtomicUsize>,
+    pool: Pool,
 }
 
 impl Executor {
@@ -122,19 +273,48 @@ impl Executor {
         Self::with_config(table, ExecutorConfig::default())
     }
 
-    /// Creates an executor with an explicit configuration.
+    /// Creates an executor with an explicit configuration, spawning its
+    /// persistent worker pool.
     pub fn with_config(table: Arc<Table>, config: ExecutorConfig) -> Self {
-        let mut shard_addresses = Vec::with_capacity(table.total_shards());
+        let mut addresses = Vec::with_capacity(table.total_shards());
+        let mut column_offsets = Vec::with_capacity(table.columns().len());
+        let mut weights = Vec::with_capacity(table.total_shards());
         for (c, column) in table.columns().iter().enumerate() {
+            column_offsets.push(addresses.len());
             for s in 0..column.shard_count() {
-                shard_addresses.push((c, s));
+                addresses.push((c, s));
+                weights.push(column.shard_rows()[s]);
             }
         }
+        let workers = config.worker_threads.max(1);
+        let affinity = plan_affinity(&weights, workers);
+        let converged = (0..addresses.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let maintenance = Arc::new(MaintenanceState {
+            table: Arc::clone(&table),
+            addresses,
+            cursor: AtomicUsize::new(0),
+            converged,
+            all_converged: AtomicBool::new(false),
+        });
+        let idle_task = config.background_maintenance.then(|| {
+            let maintenance = Arc::clone(&maintenance);
+            Arc::new(move |_worker: usize| maintenance.idle_step()) as pi_sched::IdleTask
+        });
+        let pool = Pool::with_config(PoolConfig {
+            workers,
+            idle_task,
+            ..PoolConfig::default()
+        });
         Executor {
             table,
             config,
-            shard_addresses,
-            maintenance_cursor: AtomicUsize::new(0),
+            maintenance,
+            affinity,
+            column_offsets,
+            pending_maintenance: Arc::new(AtomicUsize::new(0)),
+            pool,
         }
     }
 
@@ -148,13 +328,29 @@ impl Executor {
         self.config
     }
 
+    /// Scheduler counters of the underlying pool (executed / stolen jobs
+    /// per worker, caller-helped jobs, idle maintenance cycles).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn flat_id(&self, column: usize, shard: usize) -> usize {
+        self.column_offsets[column] + shard
+    }
+
     /// Executes a batch of range-sum queries.
     ///
     /// Results come back in request order and are bit-identical to a full
     /// scan of the base column (per-query answers never depend on how far
-    /// indexing has progressed). After answering, up to
-    /// [`ExecutorConfig::maintenance_steps`] budgeted indexing steps are
-    /// spent on untouched, unconverged shards.
+    /// indexing has progressed).
+    ///
+    /// Cold-shard maintenance happens off this call's critical path:
+    /// after answering, up to [`ExecutorConfig::maintenance_steps`]
+    /// budgeted indexing steps are spent on untouched, unconverged
+    /// shards as a fire-and-forget pool job — the load-independent floor
+    /// — and with [`ExecutorConfig::background_maintenance`] on (the
+    /// default) the pool's idle cycles add batched maintenance on top
+    /// whenever serving leaves them free.
     pub fn execute_batch(&self, queries: &[TableQuery]) -> Result<Vec<ScanResult>, EngineError> {
         // Resolve names and record workload statistics up front, so an
         // unknown column fails the whole batch before any work happens.
@@ -171,12 +367,30 @@ impl Executor {
         }
 
         // Decompose the batch into per-(column, shard) sub-query lists.
+        // Tasks are looked up through a dense flat-shard-id scratch table
+        // (the table shape is immutable), not a hash map: batch framing
+        // runs once per shard visit, and hashing dominated it at higher
+        // shard counts.
+        let total_shards = self.maintenance.addresses.len();
+        let mut results = vec![ScanResult::EMPTY; queries.len()];
         let mut tasks: Vec<ShardTask> = Vec::new();
-        let mut task_of: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
+        let mut task_of: Vec<Option<usize>> = vec![None; total_shards];
+        let mut touched = vec![false; total_shards];
         for (query_idx, &(column, low, high)) in resolved.iter().enumerate() {
-            for shard in self.table.columns()[column].overlapping(low, high) {
-                let task = *task_of.entry((column, shard)).or_insert_with(|| {
+            let sharded = &self.table.columns()[column];
+            for shard in sharded.overlapping(low, high) {
+                // Fully covered shards are answered from their precomputed
+                // totals right here — no task, no lock, no index probe; a
+                // wide query only fans real work out to its two boundary
+                // shards. They stay unmarked in `touched`, so maintenance
+                // remains eligible to converge them.
+                if let Some(total) = sharded.covered_total(shard, low, high) {
+                    results[query_idx] = results[query_idx].merge(total);
+                    continue;
+                }
+                let flat = self.flat_id(column, shard);
+                touched[flat] = true;
+                let task = *task_of[flat].get_or_insert_with(|| {
                     tasks.push(ShardTask {
                         column,
                         shard,
@@ -188,61 +402,122 @@ impl Executor {
             }
         }
 
-        let mut results = vec![ScanResult::EMPTY; queries.len()];
-        let workers = self.config.worker_threads.max(1).min(tasks.len());
-        if workers <= 1 {
-            for task in &tasks {
-                let column = &self.table.columns()[task.column];
-                for &(query_idx, low, high) in &task.sub_queries {
-                    let partial = column.query_shard(task.shard, low, high);
-                    results[query_idx] = results[query_idx].merge(partial);
-                }
-            }
-        } else {
-            // Parallel fan-out: a bounded worker pool drains the task
-            // list; each worker locks one shard at a time and returns its
-            // (query, partial result) pairs for the final merge.
-            let cursor = AtomicUsize::new(0);
-            let table = &self.table;
-            let tasks = &tasks;
-            let partials: Vec<Vec<(usize, ScanResult)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let next = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(task) = tasks.get(next) else {
-                                    break;
-                                };
-                                let column = &table.columns()[task.column];
-                                for &(query_idx, low, high) in &task.sub_queries {
-                                    let partial = column.query_shard(task.shard, low, high);
-                                    local.push((query_idx, partial));
-                                }
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("executor worker panicked"))
-                    .collect()
-            });
-            for partial_list in partials {
-                for (query_idx, partial) in partial_list {
-                    results[query_idx] = results[query_idx].merge(partial);
-                }
-            }
+        for (query_idx, partial) in self.run_shard_tasks(tasks) {
+            results[query_idx] = results[query_idx].merge(partial);
         }
 
         // Amortize the batch's maintenance budget across shards the batch
-        // did not touch.
-        let touched: std::collections::HashSet<(usize, usize)> = task_of.into_keys().collect();
-        self.maintain_excluding(self.config.maintenance_steps, &touched);
+        // did not touch, off the serving path.
+        self.spawn_maintenance(self.config.maintenance_steps, touched);
 
         Ok(results)
+    }
+
+    /// The single dispatch path for shard tasks: runs every task and
+    /// returns the `(query index, partial result)` pairs, in arbitrary
+    /// order (the merge is commutative).
+    ///
+    /// Tiny batches and single-worker pools execute inline — the caller
+    /// would drain its own queue anyway, so queueing would only add
+    /// overhead; everything else goes through the pool with shard-affine
+    /// placement, the caller helping.
+    fn run_shard_tasks(&self, tasks: Vec<ShardTask>) -> Vec<(usize, ScanResult)> {
+        let inline = tasks.len() <= 1 || self.pool.workers() == 1;
+        if inline {
+            let expected: usize = tasks.iter().map(|t| t.sub_queries.len()).sum();
+            let mut partials = Vec::with_capacity(expected);
+            for task in &tasks {
+                let column = &self.table.columns()[task.column];
+                for &(query_idx, low, high) in &task.sub_queries {
+                    partials.push((query_idx, column.query_shard(task.shard, low, high)));
+                }
+            }
+            return partials;
+        }
+        struct BatchState {
+            table: Arc<Table>,
+            tasks: Vec<ShardTask>,
+            partials: Mutex<Vec<(usize, ScanResult)>>,
+        }
+        let expected: usize = tasks.iter().map(|t| t.sub_queries.len()).sum();
+        let affinities: Vec<usize> = tasks
+            .iter()
+            .map(|t| self.affinity[self.flat_id(t.column, t.shard)])
+            .collect();
+        let state = Arc::new(BatchState {
+            table: Arc::clone(&self.table),
+            tasks,
+            partials: Mutex::new(Vec::with_capacity(expected)),
+        });
+        let jobs: Vec<(usize, Job)> = affinities
+            .into_iter()
+            .enumerate()
+            .map(|(i, affinity)| {
+                let state = Arc::clone(&state);
+                let job: Job = Box::new(move || {
+                    let task = &state.tasks[i];
+                    let column = &state.table.columns()[task.column];
+                    let mut local = Vec::with_capacity(task.sub_queries.len());
+                    for &(query_idx, low, high) in &task.sub_queries {
+                        local.push((query_idx, column.query_shard(task.shard, low, high)));
+                    }
+                    state
+                        .partials
+                        .lock()
+                        .expect("batch partials poisoned")
+                        .append(&mut local);
+                });
+                (affinity, job)
+            })
+            .collect();
+        self.pool.run(jobs);
+        let partials =
+            std::mem::take(&mut *state.partials.lock().expect("batch partials poisoned"));
+        partials
+    }
+
+    /// Enqueues a fire-and-forget maintenance job of `steps` budgeted
+    /// steps. At most a few such jobs are outstanding at a time: under
+    /// saturation further batches skip enqueueing (the idle hook and later
+    /// batches keep convergence going), so the pool never accumulates a
+    /// maintenance backlog.
+    ///
+    /// These per-batch jobs run even when
+    /// [`ExecutorConfig::background_maintenance`] is on: the idle hook
+    /// only fires when a worker finds every queue empty, so under a
+    /// saturating workload it alone would starve cold shards. The
+    /// per-batch budget is the load-independent floor that keeps the
+    /// convergence guarantee; once every shard has converged the
+    /// `is_all_converged` latch stops the traffic entirely.
+    fn spawn_maintenance(&self, steps: usize, touched: Vec<bool>) {
+        if steps == 0 || self.maintenance.is_all_converged() {
+            return;
+        }
+        if self.pending_maintenance.fetch_add(1, Ordering::Relaxed) >= 4 {
+            self.pending_maintenance.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        /// Decrements the pending counter when dropped, so a panicking
+        /// round (whose panic the pool catches to keep the worker alive)
+        /// cannot leak a slot and permanently disable maintenance.
+        struct PendingGuard(Arc<AtomicUsize>);
+        impl Drop for PendingGuard {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let maintenance = Arc::clone(&self.maintenance);
+        let guard = PendingGuard(Arc::clone(&self.pending_maintenance));
+        // Rotate the job's home worker with the cursor so maintenance
+        // pressure spreads over the pool.
+        let affinity = self.maintenance.cursor.load(Ordering::Relaxed);
+        self.pool.spawn(
+            affinity,
+            Box::new(move || {
+                let _guard = guard;
+                maintenance.run_round(steps, &touched);
+            }),
+        );
     }
 
     /// Executes a single query (a batch of one).
@@ -258,52 +533,81 @@ impl Executor {
     }
 
     /// Spends up to `steps` budgeted indexing steps, round-robin over all
-    /// not-yet-converged shards. Returns the number of steps actually
-    /// performed (less than `steps` once the table nears convergence).
+    /// not-yet-converged shards, synchronously on the calling thread.
+    /// Returns the number of steps actually performed (less than `steps`
+    /// once the table nears convergence).
     pub fn maintain(&self, steps: usize) -> usize {
-        self.maintain_excluding(steps, &std::collections::HashSet::new())
-    }
-
-    fn maintain_excluding(
-        &self,
-        steps: usize,
-        touched: &std::collections::HashSet<(usize, usize)>,
-    ) -> usize {
-        let total = self.shard_addresses.len();
-        if total == 0 || steps == 0 {
-            return 0;
-        }
-        let mut performed = 0;
-        let mut visited = 0;
-        while performed < steps && visited < total {
-            let at = self.maintenance_cursor.fetch_add(1, Ordering::Relaxed) % total;
-            visited += 1;
-            let (c, s) = self.shard_addresses[at];
-            if touched.contains(&(c, s)) {
-                continue;
-            }
-            if self.table.columns()[c].advance_shard(s) {
-                performed += 1;
-            }
-        }
-        performed
+        self.maintenance.run_round(steps, &[])
     }
 
     /// Drives every shard of every column to convergence by repeated
-    /// maintenance rounds. Returns the number of budgeted steps spent.
+    /// maintenance rounds, fanned out over the pool workers: each round
+    /// hands the workers a shared [`StepBudget`] of one step per shard, so
+    /// the round's total work stays bounded no matter how the steps
+    /// interleave across threads. Returns the number of budgeted steps
+    /// spent by these rounds (idle-cycle maintenance may converge shards
+    /// in parallel for free).
     ///
     /// Convergence is deterministic (the paper's guarantee, per shard), so
     /// this always terminates; `max_steps` is a safety valve for tests.
     pub fn drive_to_convergence(&self, max_steps: usize) -> usize {
         let mut spent = 0;
         while !self.table.is_converged() && spent < max_steps {
-            let performed = self.maintain(self.table.total_shards());
-            if performed == 0 {
+            let round_cap = self.maintenance.addresses.len().min(max_steps - spent);
+            let budget = Arc::new(StepBudget::new(round_cap));
+            let performed = Arc::new(AtomicUsize::new(0));
+            let workers = self.pool.workers().min(round_cap.max(1));
+            let jobs: Vec<(usize, Job)> = (0..workers)
+                .map(|w| {
+                    let maintenance = Arc::clone(&self.maintenance);
+                    let budget = Arc::clone(&budget);
+                    let performed = Arc::clone(&performed);
+                    let job: Job = Box::new(move || {
+                        while budget.try_take() {
+                            if maintenance.single_step() {
+                                performed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                // Nothing left to advance; return the
+                                // unspent step and stop.
+                                budget.give_back();
+                                break;
+                            }
+                        }
+                    });
+                    (w, job)
+                })
+                .collect();
+            self.pool.run(jobs);
+            let performed = performed.load(Ordering::Relaxed);
+            if performed == 0 && self.table.is_converged() {
                 break;
             }
+            // A zero-progress round with the table still unconverged is a
+            // transient race, not exhaustion: concurrent cursor ticks
+            // (sibling jobs, the idle hook) can make one sweep land only
+            // on converged slots while another thread holds the work.
+            // Loop again — every unconverged shard is always advanceable,
+            // so someone is making progress.
             spent += performed;
         }
         spent
+    }
+}
+
+/// The engine is the canonical [`pi_sched::BatchExecutor`]: a
+/// [`pi_sched::Server`] front-end gives it admission control, batch
+/// coalescing across clients, backpressure and idle-cycle maintenance.
+impl BatchExecutor for Executor {
+    type Request = TableQuery;
+    type Response = ScanResult;
+    type Error = EngineError;
+
+    fn execute_batch(&self, batch: &[TableQuery]) -> Result<Vec<ScanResult>, EngineError> {
+        Executor::execute_batch(self, batch)
+    }
+
+    fn idle_maintain(&self) -> bool {
+        self.maintenance.idle_step()
     }
 }
 
@@ -334,6 +638,16 @@ mod tests {
         (table, a, b)
     }
 
+    /// A config with synchronous-only maintenance, for tests that assert
+    /// on exact foreground step counts.
+    fn foreground_config(workers: usize, maintenance_steps: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            worker_threads: workers,
+            maintenance_steps,
+            background_maintenance: false,
+        }
+    }
+
     #[test]
     fn batch_results_match_full_scan() {
         let (table, a, b) = test_table(20_000, 4);
@@ -352,6 +666,25 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_pool_matches_full_scan() {
+        // Forces the pooled dispatch path even on a single-core host.
+        let (table, a, b) = test_table(20_000, 8);
+        let executor = Executor::with_config(table, foreground_config(4, 2));
+        let batch: Vec<TableQuery> = (0..60)
+            .map(|i| {
+                let low = (i * 311) % 18_000;
+                TableQuery::new(if i % 2 == 0 { "a" } else { "b" }, low, low + 3_000)
+            })
+            .collect();
+        let results = executor.execute_batch(&batch).unwrap();
+        for (q, r) in batch.iter().zip(&results) {
+            let base = if q.column == "a" { &a } else { &b };
+            assert_eq!(*r, scan_range_sum(base, q.low, q.high), "{q:?}");
+        }
+        assert!(executor.pool_stats().total_executed() > 0);
+    }
+
+    #[test]
     fn unknown_column_fails_the_batch() {
         let (table, _, _) = test_table(1_000, 2);
         let executor = Executor::new(table);
@@ -365,7 +698,7 @@ mod tests {
     #[test]
     fn maintenance_drives_convergence_without_client_queries() {
         let (table, a, _) = test_table(5_000, 4);
-        let executor = Executor::new(Arc::clone(&table));
+        let executor = Executor::with_config(Arc::clone(&table), foreground_config(2, 4));
         let spent = executor.drive_to_convergence(1_000_000);
         assert!(
             table.is_converged(),
@@ -380,16 +713,30 @@ mod tests {
     #[test]
     fn maintenance_budget_is_respected() {
         let (table, _, _) = test_table(50_000, 8);
-        let executor = Executor::with_config(
-            Arc::clone(&table),
-            ExecutorConfig {
-                worker_threads: 2,
-                maintenance_steps: 3,
-            },
-        );
+        let executor = Executor::with_config(Arc::clone(&table), foreground_config(2, 3));
         let performed = executor.maintain(3);
         assert!(performed <= 3);
         assert!(performed > 0);
+    }
+
+    #[test]
+    fn background_maintenance_converges_an_unqueried_table() {
+        let (table, _, _) = test_table(4_000, 4);
+        let _executor = Executor::with_config(
+            Arc::clone(&table),
+            ExecutorConfig {
+                worker_threads: 2,
+                maintenance_steps: 0,
+                background_maintenance: true,
+            },
+        );
+        // No queries, no explicit maintenance: the pool's idle cycles must
+        // converge every shard on their own.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while !table.is_converged() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(table.is_converged(), "idle-cycle maintenance stalled");
     }
 
     #[test]
@@ -404,7 +751,10 @@ mod tests {
     #[test]
     fn concurrent_clients_get_exact_answers() {
         let (table, a, b) = test_table(30_000, 4);
-        let executor = Arc::new(Executor::new(Arc::clone(&table)));
+        let executor = Arc::new(Executor::with_config(
+            Arc::clone(&table),
+            ExecutorConfig::with_workers(4),
+        ));
         std::thread::scope(|scope| {
             for client in 0..4 {
                 let executor = Arc::clone(&executor);

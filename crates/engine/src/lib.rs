@@ -16,11 +16,20 @@
 //!   [`table::ShardedColumn::recommended_algorithm`], surfacing drift
 //!   between the running algorithm and the served workload.
 //! * [`Executor`] — accepts query batches from any number of client
-//!   threads, fans each query out across the overlapping shards with a
-//!   bounded worker pool, merges the partial [`pi_storage::ScanResult`]s,
-//!   and amortizes a fixed per-batch **maintenance budget** across cold
-//!   shards so the whole table converges under any workload pattern — the
-//!   engine-level analogue of the paper's per-query robustness guarantee.
+//!   threads, fans each query out across the overlapping shards on a
+//!   persistent, shard-affine [`pi_sched::Pool`] (shards pinned to
+//!   workers by row weight, work-stealing for balance, the caller
+//!   helping), merges the partial [`pi_storage::ScanResult`]s, and
+//!   amortizes a fixed per-batch **maintenance budget** across cold
+//!   shards. The pool's idle cycles are donated to the same maintenance,
+//!   so the whole table converges under any workload pattern — even one
+//!   that never queries a cold shard's range — the engine-level analogue
+//!   of the paper's per-query robustness guarantee.
+//!
+//! The executor implements [`pi_sched::BatchExecutor`], so a
+//! [`pi_sched::Server`] can front it with a bounded admission queue,
+//! cross-client batch coalescing, backpressure and graceful shutdown; the
+//! [`TableServer`] alias names that combination.
 //!
 //! ## Quickstart
 //!
@@ -65,3 +74,9 @@ pub mod table;
 pub use executor::{EngineError, Executor, ExecutorConfig, TableQuery};
 pub use stats::{estimate_distribution, WorkloadStats};
 pub use table::{AlgorithmChoice, ColumnSpec, Shard, ShardedColumn, Table, TableBuilder};
+
+/// A [`pi_sched::Server`] front-end over the engine's [`Executor`]:
+/// bounded admission queue, batch coalescing across clients, backpressure
+/// and graceful shutdown, with idle dispatcher cycles donated to shard
+/// maintenance.
+pub type TableServer = pi_sched::Server<Executor>;

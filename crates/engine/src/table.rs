@@ -150,6 +150,22 @@ impl Shard {
     }
 }
 
+/// Immutable per-shard summary, captured when the column is split: the
+/// shard's actual value bounds and its full-shard aggregate. Query answers
+/// are always exact over the base rows regardless of indexing progress, so
+/// a predicate that covers `[min, max]` entirely can be answered from
+/// `total` in O(1) — no shard lock, no index probe (aggregate pushdown;
+/// wide queries only pay real probes on their two boundary shards).
+#[derive(Debug, Clone, Copy)]
+struct ShardDigest {
+    /// Smallest / largest value the shard holds (meaningless when empty).
+    min: Value,
+    max: Value,
+    /// `SUM`/`COUNT` over every row of the shard.
+    total: ScanResult,
+    empty: bool,
+}
+
 /// A named, range-sharded, progressively indexed column.
 pub struct ShardedColumn {
     name: String,
@@ -158,6 +174,11 @@ pub struct ShardedColumn {
     algorithm: Algorithm,
     distribution: DataDistribution,
     partition: RangePartition,
+    /// Rows per shard, immutable after construction — the task-granularity
+    /// weights the scheduler pins shards to workers by (no shard lock
+    /// needed to read them).
+    shard_rows: Vec<usize>,
+    digests: Vec<ShardDigest>,
     shards: Vec<Mutex<Shard>>,
     stats: WorkloadStats,
 }
@@ -178,8 +199,21 @@ impl ShardedColumn {
         let rows = column.len();
         let domain = column.domain().unwrap_or((0, 0));
         let partition = RangePartition::equi_depth(column.data(), spec.shards);
-        let shards = partition
-            .split_column(&column)
+        let sub_columns = partition.split_column(&column);
+        let shard_rows: Vec<usize> = sub_columns.iter().map(Column::len).collect();
+        let digests = sub_columns
+            .iter()
+            .map(|sub| ShardDigest {
+                min: sub.min(),
+                max: sub.max(),
+                total: ScanResult {
+                    sum: sub.data().iter().map(|&v| v as u128).sum(),
+                    count: sub.len() as u64,
+                },
+                empty: sub.is_empty(),
+            })
+            .collect();
+        let shards = sub_columns
             .into_iter()
             .map(|sub| Mutex::new(Shard::new(sub, algorithm, spec.policy)))
             .collect();
@@ -190,6 +224,8 @@ impl ShardedColumn {
             algorithm,
             distribution,
             partition,
+            shard_rows,
+            digests,
             shards,
             stats: WorkloadStats::new(),
         }
@@ -223,6 +259,13 @@ impl ShardedColumn {
     /// The shard boundaries partition.
     pub fn partition(&self) -> &RangePartition {
         &self.partition
+    }
+
+    /// Rows owned by each shard (immutable after construction). The
+    /// scheduler weights shard tasks by these counts when pinning shards
+    /// to pool workers.
+    pub fn shard_rows(&self) -> &[usize] {
+        &self.shard_rows
     }
 
     /// The column's observed workload statistics.
@@ -259,9 +302,37 @@ impl ShardedColumn {
             .query(low, high)
     }
 
+    /// O(1) answer for shard `shard` when the predicate covers every value
+    /// the shard holds (or the shard is empty): the precomputed full-shard
+    /// aggregate, taken without locking. `None` means the shard must be
+    /// probed through [`ShardedColumn::query_shard`]. Exactness does not
+    /// depend on indexing progress — answers are always over the base
+    /// rows — but the skipped shard performs no per-query indexing work,
+    /// so callers must converge it some other way (the executor's
+    /// maintenance floor and idle cycles do; the serial
+    /// [`ShardedColumn::query`] therefore does not use this shortcut).
+    pub fn covered_total(&self, shard: usize, low: Value, high: Value) -> Option<ScanResult> {
+        let digest = &self.digests[shard];
+        if digest.empty {
+            Some(ScanResult::EMPTY)
+        } else if low <= digest.min && digest.max <= high {
+            Some(digest.total)
+        } else {
+            None
+        }
+    }
+
     /// Answers `[low, high]` by visiting the overlapping shards serially
     /// and merging the partial results. Records the query in the column's
     /// workload statistics.
+    ///
+    /// This serial path deliberately does *not* take the
+    /// [`ShardedColumn::covered_total`] shortcut: with no maintenance
+    /// machinery at this layer, skipping the per-query indexing side
+    /// effect would leave fully covered shards unconverged forever under
+    /// query-only traffic. The executor, whose maintenance floor
+    /// guarantees convergence independently of queries, is the shortcut's
+    /// intended user.
     pub fn query(&self, low: Value, high: Value) -> ScanResult {
         self.stats.record(low, high);
         let mut merged = ScanResult::EMPTY;
@@ -274,10 +345,22 @@ impl ShardedColumn {
     /// Performs one maintenance step on shard `shard`; returns `true` when
     /// indexing work was performed.
     pub fn advance_shard(&self, shard: usize) -> bool {
-        self.shards[shard]
-            .lock()
-            .expect("shard lock poisoned")
-            .advance()
+        self.advance_shard_by(shard, 1) > 0
+    }
+
+    /// Performs up to `steps` maintenance steps on shard `shard` under a
+    /// single lock acquisition; returns the steps actually performed
+    /// (stops early at convergence). Batching matters to background
+    /// maintenance: with N shards each budgeted step is ~N× smaller, and
+    /// taking the shard lock per step would multiply the lock round-trips
+    /// — and the contention with serving threads — by N.
+    pub fn advance_shard_by(&self, shard: usize, steps: usize) -> usize {
+        let mut guard = self.shards[shard].lock().expect("shard lock poisoned");
+        let mut performed = 0;
+        while performed < steps && guard.advance() {
+            performed += 1;
+        }
+        performed
     }
 
     /// Per-shard status snapshots.
@@ -465,6 +548,19 @@ mod tests {
             column.query(100, 2_000),
             scan_range_sum(&values, 100, 2_000)
         );
+    }
+
+    #[test]
+    fn shard_rows_match_shard_contents() {
+        let values = uniform_values(12_000, 23);
+        let column = ShardedColumn::from_spec(ColumnSpec::new("a", values).with_shards(5));
+        let rows = column.shard_rows().to_vec();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.iter().sum::<usize>(), 12_000);
+        let locked: Vec<usize> = (0..5)
+            .map(|s| column.shards[s].lock().unwrap().rows())
+            .collect();
+        assert_eq!(rows, locked);
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn concurrent_clients_over_multi_column_table() {
         ExecutorConfig {
             worker_threads: 4,
             maintenance_steps: 8,
+            background_maintenance: true,
         },
     ));
 

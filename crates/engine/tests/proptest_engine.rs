@@ -27,6 +27,7 @@ fn build_executor(values: Vec<u64>, shards: usize, delta: f64) -> Executor {
         ExecutorConfig {
             worker_threads: 4,
             maintenance_steps: 2,
+            background_maintenance: true,
         },
     )
 }

@@ -1,0 +1,63 @@
+//! # pi-sched — persistent scheduler and serving front-end
+//!
+//! The runtime under the progressive-indexing engine. The paper bounds
+//! the indexing work any single query performs (budget δ); this crate
+//! bounds what the *system* around those queries costs, so the budget
+//! amortization happens continuously instead of only inside a client's
+//! batch:
+//!
+//! * [`Pool`] — a persistent, shard-affine work-stealing worker pool.
+//!   One deque per worker, jobs routed by affinity key (the engine keys
+//!   by shard, so a shard's working set stays warm on one worker),
+//!   stealing for load balance, caller-helping batch execution
+//!   ([`Pool::run`]) and donated idle cycles ([`PoolConfig::idle_task`])
+//!   for background maintenance. Replaces the per-batch
+//!   `std::thread::scope` fan-out whose spawn cost dwarfed the
+//!   microsecond-scale shard tasks.
+//! * [`Server`] — an async-style admission layer over any
+//!   [`BatchExecutor`]: bounded submission queue with backpressure
+//!   ([`Server::try_submit`] returns [`SubmitError::QueueFull`]), batch
+//!   coalescing across clients, [`Ticket`] futures, idle-cycle
+//!   maintenance and graceful shutdown that always resolves accepted
+//!   tickets.
+//! * [`plan_affinity`] — longest-processing-time-first pinning of
+//!   weighted shards onto workers, used by the engine to balance pinned
+//!   row counts.
+//!
+//! The crate is dependency-free (std only) and knows nothing about
+//! indexes: `pi-engine` implements [`BatchExecutor`] for its `Executor`
+//! and keys pool jobs by global shard id.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pi_sched::{BatchExecutor, Server, ServerConfig};
+//!
+//! struct Doubler;
+//! impl BatchExecutor for Doubler {
+//!     type Request = u64;
+//!     type Response = u64;
+//!     type Error = String;
+//!     fn execute_batch(&self, batch: &[u64]) -> Result<Vec<u64>, String> {
+//!         Ok(batch.iter().map(|x| x * 2).collect())
+//!     }
+//! }
+//!
+//! let server = Server::new(Arc::new(Doubler), ServerConfig::default());
+//! let ticket = server.try_submit(vec![1, 2, 3]).unwrap();
+//! assert_eq!(ticket.wait(), Ok(vec![2, 4, 6]));
+//! server.shutdown(); // graceful: drains accepted work first
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pool;
+pub mod server;
+
+pub use pool::{plan_affinity, IdleTask, Job, Pool, PoolConfig, PoolStats};
+pub use server::{
+    BatchExecutor, ServeError, Server, ServerConfig, ServerStats, SubmitError, Ticket,
+    TrySubmitError,
+};

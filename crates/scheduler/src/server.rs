@@ -1,0 +1,601 @@
+//! Async-style serving front-end: bounded admission queue, batch
+//! coalescing, backpressure and graceful shutdown.
+//!
+//! Clients do not call the engine directly; they [`Server::submit`] (or
+//! [`Server::try_submit`]) a batch of requests and receive a [`Ticket`] —
+//! a one-shot future resolved by the dispatcher threads. The server owns
+//! admission control:
+//!
+//! * **Bounded queue.** At most [`ServerConfig::queue_capacity`]
+//!   submissions wait at any time. `try_submit` returns
+//!   [`SubmitError::QueueFull`] instead of queueing unboundedly —
+//!   backpressure the client can act on (shed, retry, slow down);
+//!   `submit` blocks until space frees up.
+//! * **Batch coalescing.** A dispatcher drains up to
+//!   [`ServerConfig::max_coalesced_queries`] queued requests and executes
+//!   them as *one* engine batch, so per-batch costs (shard fan-out,
+//!   maintenance budget) amortize across clients under load — the
+//!   server-level analogue of the paper's per-query budget amortization.
+//!   If the coalesced batch fails (e.g. one client addressed an unknown
+//!   column), the dispatcher falls back to executing each submission
+//!   separately so one bad request cannot fail its neighbours.
+//! * **Idle-cycle maintenance.** When the queue is empty the dispatcher
+//!   donates its cycles to [`BatchExecutor::idle_maintain`], one budgeted
+//!   step at a time, so cold shards keep converging even when no client
+//!   ever queries their range.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops admissions
+//!   (subsequent submits fail with [`SubmitError::ShutDown`]), lets the
+//!   dispatchers drain every already-accepted submission, and joins them.
+//!   Every accepted ticket is always resolved.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A batch-executing backend the server can serve. `pi-engine`'s
+/// `Executor` is the canonical implementation; tests use mocks.
+pub trait BatchExecutor: Send + Sync + 'static {
+    /// One request (for the engine: a range-sum query on a named column).
+    type Request: Send + 'static;
+    /// One response, positionally matching the request.
+    type Response: Send + 'static;
+    /// Batch-level error. `Clone` because a coalesced failure may need to
+    /// be delivered to several tickets.
+    type Error: Send + Clone + std::fmt::Debug + 'static;
+
+    /// Executes a batch; on success returns exactly one response per
+    /// request, in request order.
+    fn execute_batch(&self, batch: &[Self::Request]) -> Result<Vec<Self::Response>, Self::Error>;
+
+    /// Performs one budgeted background-maintenance step. Returns `true`
+    /// when work was performed, `false` when there is none left (the
+    /// dispatcher then parks instead of spinning). Default: no
+    /// maintenance.
+    fn idle_maintain(&self) -> bool {
+        false
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity — backpressure; retry later or
+    /// shed the request.
+    QueueFull,
+    /// The server is shutting down and no longer accepts work.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::ShutDown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Error of [`Server::try_submit`]. Carries the rejected batch back to
+/// the caller (like `std::sync::mpsc::TrySendError`), so retrying under
+/// backpressure does not rebuild the requests.
+#[derive(Debug)]
+pub struct TrySubmitError<R> {
+    /// Why the submission was refused.
+    pub error: SubmitError,
+    /// The refused batch, returned unchanged.
+    pub requests: Vec<R>,
+}
+
+impl<R> std::fmt::Display for TrySubmitError<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl<R: std::fmt::Debug> std::error::Error for TrySubmitError<R> {}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum number of submissions waiting in the admission queue.
+    pub queue_capacity: usize,
+    /// A dispatcher stops coalescing once the combined batch reaches this
+    /// many requests.
+    pub max_coalesced_queries: usize,
+    /// Number of dispatcher threads draining the queue.
+    pub dispatchers: usize,
+    /// Dispatcher park timeout when idle (woken eagerly on submission).
+    pub idle_park: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 128,
+            max_coalesced_queries: 256,
+            dispatchers: 1,
+            idle_park: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Aggregate serving counters (monotonic since server start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Submissions accepted into the queue.
+    pub accepted: u64,
+    /// `try_submit` rejections due to a full queue.
+    pub rejected: u64,
+    /// Engine batches executed (after coalescing).
+    pub executed_batches: u64,
+    /// Individual requests served successfully (failed batches resolve
+    /// their tickets with the error and are not counted here).
+    pub served_requests: u64,
+    /// Background-maintenance steps performed from idle cycles.
+    pub maintenance_steps: u64,
+}
+
+/// One-shot handle to a submission's eventual result.
+pub struct Ticket<E: BatchExecutor> {
+    slot: Arc<Slot<E>>,
+}
+
+/// A submission's eventual outcome: all responses, or the batch error.
+type BatchResult<E> = Result<Vec<<E as BatchExecutor>::Response>, <E as BatchExecutor>::Error>;
+
+struct Slot<E: BatchExecutor> {
+    result: Mutex<Option<BatchResult<E>>>,
+    ready: Condvar,
+    /// Set when the executor panicked while serving this submission; the
+    /// waiters re-raise instead of blocking forever (the dispatcher
+    /// itself survives and keeps serving other submissions).
+    poisoned: AtomicBool,
+    /// Set once a waiter has taken the result, so a second `wait` after a
+    /// successful `try_wait` fails loudly instead of blocking forever on
+    /// a slot that will never be refilled.
+    taken: AtomicBool,
+}
+
+impl<E: BatchExecutor> Slot<E> {
+    fn new() -> Self {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            taken: AtomicBool::new(false),
+        }
+    }
+
+    fn fulfil(&self, result: Result<Vec<E::Response>, E::Error>) {
+        let mut slot = self.result.lock().expect("ticket slot poisoned");
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn poison(&self) {
+        let _slot = self.result.lock().expect("ticket slot poisoned");
+        self.poisoned.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "the executor panicked while serving this submission"
+        );
+    }
+}
+
+impl<E: BatchExecutor> Ticket<E> {
+    /// Blocks until the submission has been served. Accepted submissions
+    /// are always served, even across [`Server::shutdown`].
+    ///
+    /// # Panics
+    /// Re-raises (as a panic) an executor panic that occurred while
+    /// serving this submission, and panics if the result was already
+    /// taken by an earlier [`Ticket::try_wait`].
+    pub fn wait(self) -> Result<Vec<E::Response>, E::Error> {
+        let mut slot = self.slot.result.lock().expect("ticket slot poisoned");
+        loop {
+            self.slot.check_poison();
+            if let Some(result) = slot.take() {
+                self.slot.taken.store(true, Ordering::Relaxed);
+                return result;
+            }
+            assert!(
+                !self.slot.taken.load(Ordering::Relaxed),
+                "ticket result already taken by an earlier try_wait"
+            );
+            slot = self.slot.ready.wait(slot).expect("ticket slot poisoned");
+        }
+    }
+
+    /// Non-blocking poll; `None` while the submission is still queued or
+    /// executing.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic) an executor panic that occurred while
+    /// serving this submission, and panics if the result was already
+    /// taken by an earlier call.
+    pub fn try_wait(&self) -> Option<Result<Vec<E::Response>, E::Error>> {
+        let mut slot = self.slot.result.lock().expect("ticket slot poisoned");
+        self.slot.check_poison();
+        let result = slot.take();
+        if result.is_some() {
+            self.slot.taken.store(true, Ordering::Relaxed);
+        } else {
+            assert!(
+                !self.slot.taken.load(Ordering::Relaxed),
+                "ticket result already taken by an earlier try_wait"
+            );
+        }
+        result
+    }
+}
+
+struct Submission<E: BatchExecutor> {
+    requests: Vec<E::Request>,
+    slot: Arc<Slot<E>>,
+}
+
+struct ServerShared<E: BatchExecutor> {
+    executor: Arc<E>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Submission<E>>>,
+    /// Wakes dispatchers (new submission / shutdown).
+    dispatch: Condvar,
+    /// Wakes blocked `submit` callers (space freed / shutdown).
+    space: Condvar,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    executed_batches: AtomicU64,
+    served_requests: AtomicU64,
+    maintenance_steps: AtomicU64,
+}
+
+impl<E: BatchExecutor> ServerShared<E> {
+    /// Calls the executor, catching a panic so the dispatcher thread
+    /// survives: a dead dispatcher would strand every queued and future
+    /// ticket. `None` means the executor panicked.
+    fn execute_caught(&self, batch: &[E::Request]) -> Option<BatchResult<E>> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.executor.execute_batch(batch)
+        }))
+        .ok()
+    }
+
+    fn deliver(&self, submission: Submission<E>) {
+        match self.execute_caught(&submission.requests) {
+            Some(result) => {
+                self.executed_batches.fetch_add(1, Ordering::Relaxed);
+                if result.is_ok() {
+                    self.served_requests
+                        .fetch_add(submission.requests.len() as u64, Ordering::Relaxed);
+                }
+                submission.slot.fulfil(result);
+            }
+            None => submission.slot.poison(),
+        }
+    }
+
+    /// Executes a coalesced run of submissions as one engine batch,
+    /// splitting the responses back per submission. Falls back to
+    /// per-submission execution when the combined batch fails, so one bad
+    /// request only fails its own ticket.
+    fn deliver_coalesced(&self, submissions: Vec<Submission<E>>) {
+        if submissions.len() == 1 {
+            let submission = submissions.into_iter().next().expect("len checked");
+            self.deliver(submission);
+            return;
+        }
+        let mut sizes = Vec::with_capacity(submissions.len());
+        let mut batch = Vec::new();
+        let mut slots = Vec::with_capacity(submissions.len());
+        for submission in submissions {
+            sizes.push(submission.requests.len());
+            batch.extend(submission.requests);
+            slots.push(submission.slot);
+        }
+        match self.execute_caught(&batch) {
+            None => {
+                // The executor panicked somewhere in the combined batch;
+                // retrying the parts would panic again. Poison the run so
+                // every waiter re-raises instead of hanging.
+                for slot in &slots {
+                    slot.poison();
+                }
+            }
+            Some(Ok(mut responses)) => {
+                self.executed_batches.fetch_add(1, Ordering::Relaxed);
+                self.served_requests
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                debug_assert_eq!(
+                    responses.len(),
+                    batch.len(),
+                    "executor returned a response count mismatching the batch"
+                );
+                for (size, slot) in sizes.iter().zip(&slots).rev() {
+                    let tail = responses.split_off(responses.len() - size);
+                    slot.fulfil(Ok(tail));
+                }
+            }
+            Some(Err(_)) => {
+                // Re-slice the moved batch back into per-submission
+                // request lists and execute them in isolation.
+                let mut rest = batch;
+                let mut parts = Vec::with_capacity(sizes.len());
+                for &size in sizes.iter().rev() {
+                    let tail = rest.split_off(rest.len() - size);
+                    parts.push(tail);
+                }
+                parts.reverse();
+                for (requests, slot) in parts.into_iter().zip(slots) {
+                    self.deliver(Submission { requests, slot });
+                }
+            }
+        }
+    }
+
+    fn dispatcher_loop(&self) {
+        loop {
+            let run = {
+                let mut queue = self.queue.lock().expect("server queue poisoned");
+                let mut run = Vec::new();
+                let mut queries = 0;
+                while let Some(front) = queue.front() {
+                    if !run.is_empty()
+                        && queries + front.requests.len() > self.config.max_coalesced_queries
+                    {
+                        break;
+                    }
+                    let submission = queue.pop_front().expect("front checked");
+                    queries += submission.requests.len();
+                    run.push(submission);
+                    if queries >= self.config.max_coalesced_queries {
+                        break;
+                    }
+                }
+                run
+            };
+            if run.is_empty() {
+                if self.shutdown.load(Ordering::Acquire) {
+                    // Final drain check under the lock: `shutdown` is only
+                    // set while holding the queue lock, so a submission
+                    // that won the admission race is visible here — exit
+                    // only when the queue is truly empty, or it would
+                    // strand an accepted ticket.
+                    if self.queue.lock().expect("server queue poisoned").is_empty() {
+                        return;
+                    }
+                    continue;
+                }
+                if self.executor.idle_maintain() {
+                    self.maintenance_steps.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let queue = self.queue.lock().expect("server queue poisoned");
+                if queue.is_empty() && !self.shutdown.load(Ordering::Acquire) {
+                    let _ = self
+                        .dispatch
+                        .wait_timeout(queue, self.config.idle_park)
+                        .expect("server queue poisoned");
+                }
+                continue;
+            }
+            // Space freed: wake one blocked submitter per popped entry.
+            self.space.notify_all();
+            self.deliver_coalesced(run);
+        }
+    }
+}
+
+/// The serving front-end. See the module docs.
+pub struct Server<E: BatchExecutor> {
+    shared: Arc<ServerShared<E>>,
+    dispatchers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<E: BatchExecutor> Server<E> {
+    /// Starts a server (and its dispatcher threads) over `executor`.
+    ///
+    /// # Panics
+    /// Panics when `config.queue_capacity`, `config.max_coalesced_queries`
+    /// or `config.dispatchers` is zero.
+    pub fn new(executor: Arc<E>, config: ServerConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(
+            config.max_coalesced_queries > 0,
+            "coalescing limit must be positive"
+        );
+        assert!(
+            config.dispatchers > 0,
+            "a server needs at least one dispatcher"
+        );
+        let shared = Arc::new(ServerShared {
+            executor,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            dispatch: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            executed_batches: AtomicU64::new(0),
+            served_requests: AtomicU64::new(0),
+            maintenance_steps: AtomicU64::new(0),
+        });
+        let dispatchers = (0..config.dispatchers)
+            .map(|d| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pi-serve-{d}"))
+                    .spawn(move || shared.dispatcher_loop())
+                    .expect("failed to spawn dispatcher")
+            })
+            .collect();
+        Server {
+            shared,
+            dispatchers: Mutex::new(dispatchers),
+        }
+    }
+
+    /// Starts a server with the default configuration.
+    pub fn with_defaults(executor: Arc<E>) -> Self {
+        Self::new(executor, ServerConfig::default())
+    }
+
+    /// The executor this server fronts.
+    pub fn executor(&self) -> &Arc<E> {
+        &self.shared.executor
+    }
+
+    /// Non-blocking admission: enqueues `requests` or hands them back
+    /// with the backpressure reason.
+    pub fn try_submit(
+        &self,
+        requests: Vec<E::Request>,
+    ) -> Result<Ticket<E>, TrySubmitError<E::Request>> {
+        let mut queue = self.shared.queue.lock().expect("server queue poisoned");
+        // Checked under the queue lock — see `shutdown` for the protocol.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(TrySubmitError {
+                error: SubmitError::ShutDown,
+                requests,
+            });
+        }
+        if queue.len() >= self.shared.config.queue_capacity {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(TrySubmitError {
+                error: SubmitError::QueueFull,
+                requests,
+            });
+        }
+        Ok(self.enqueue(&mut queue, requests))
+    }
+
+    /// Blocking admission: waits for queue space. Fails only with
+    /// [`SubmitError::ShutDown`].
+    pub fn submit(&self, requests: Vec<E::Request>) -> Result<Ticket<E>, SubmitError> {
+        let mut queue = self.shared.queue.lock().expect("server queue poisoned");
+        while queue.len() >= self.shared.config.queue_capacity {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(SubmitError::ShutDown);
+            }
+            queue = self
+                .shared
+                .space
+                .wait_timeout(queue, Duration::from_millis(20))
+                .expect("server queue poisoned")
+                .0;
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown);
+        }
+        Ok(self.enqueue(&mut queue, requests))
+    }
+
+    fn enqueue(&self, queue: &mut VecDeque<Submission<E>>, requests: Vec<E::Request>) -> Ticket<E> {
+        let slot = Arc::new(Slot::new());
+        queue.push_back(Submission {
+            requests,
+            slot: Arc::clone(&slot),
+        });
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.dispatch.notify_one();
+        Ticket { slot }
+    }
+
+    /// Convenience: submit one batch (blocking admission) and wait for its
+    /// results.
+    pub fn execute(&self, requests: Vec<E::Request>) -> Result<Vec<E::Response>, ServeError<E>> {
+        let ticket = self.submit(requests).map_err(ServeError::Rejected)?;
+        ticket.wait().map_err(ServeError::Executor)
+    }
+
+    /// Current queue depth (submissions waiting, excluding in-flight).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("server queue poisoned")
+            .len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            executed_batches: self.shared.executed_batches.load(Ordering::Relaxed),
+            served_requests: self.shared.served_requests.load(Ordering::Relaxed),
+            maintenance_steps: self.shared.maintenance_steps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stops admissions (subsequent submits fail with
+    /// [`SubmitError::ShutDown`]), drains every accepted submission (all
+    /// tickets resolve), joins the dispatchers. Idempotent, and callable
+    /// through a shared reference — clients typically hold the server in
+    /// an `Arc` while an owner shuts it down. Dropping the server does
+    /// the same.
+    pub fn shutdown(&self) {
+        {
+            // The flag flips under the queue lock: every admission checks
+            // it under the same lock, so a submission either lands before
+            // the flip (and the dispatchers' final drain serves it) or
+            // observes `ShutDown` — no ticket can be stranded.
+            let _queue = self.shared.queue.lock().expect("server queue poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.dispatch.notify_all();
+            self.shared.space.notify_all();
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .dispatchers
+                .lock()
+                .expect("dispatcher handles poisoned"),
+        );
+        for handle in handles {
+            handle.join().expect("dispatcher panicked");
+        }
+    }
+}
+
+impl<E: BatchExecutor> Drop for Server<E> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Error of the blocking [`Server::execute`] convenience call.
+pub enum ServeError<E: BatchExecutor> {
+    /// The submission was not admitted.
+    Rejected(SubmitError),
+    /// The executor failed the batch.
+    Executor(E::Error),
+}
+
+impl<E: BatchExecutor> std::fmt::Debug for ServeError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(e) => f.debug_tuple("Rejected").field(e).finish(),
+            ServeError::Executor(e) => f.debug_tuple("Executor").field(e).finish(),
+        }
+    }
+}
+
+impl<E: BatchExecutor> std::fmt::Display for ServeError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "submission rejected: {e}"),
+            ServeError::Executor(e) => write!(f, "executor error: {e:?}"),
+        }
+    }
+}
+
+impl<E: BatchExecutor> std::error::Error for ServeError<E> {}

@@ -1,0 +1,304 @@
+//! Integration tests for the scheduler: backpressure, graceful shutdown
+//! with in-flight batches, batch coalescing with error isolation, and
+//! work-stealing fairness. Deterministic mock executors stand in for the
+//! engine so every scenario is forced, not raced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use pi_sched::{BatchExecutor, Job, Pool, Server, ServerConfig, SubmitError};
+
+/// Doubles every request; can be gated so a batch blocks inside the
+/// executor until the test releases it, and fails any batch containing
+/// the poison value 13.
+struct MockExec {
+    /// `Some(state)`: batches block while `state == true`.
+    gate: Mutex<bool>,
+    gate_change: Condvar,
+    /// Signals how many batches have *entered* the executor.
+    entered: Mutex<usize>,
+    entered_change: Condvar,
+    batches: AtomicUsize,
+    /// Largest single batch this executor was handed (coalescing proof).
+    max_batch: AtomicUsize,
+}
+
+impl MockExec {
+    fn new(gated: bool) -> Self {
+        MockExec {
+            gate: Mutex::new(gated),
+            gate_change: Condvar::new(),
+            entered: Mutex::new(0),
+            entered_change: Condvar::new(),
+            batches: AtomicUsize::new(0),
+            max_batch: AtomicUsize::new(0),
+        }
+    }
+
+    fn release(&self) {
+        *self.gate.lock().unwrap() = false;
+        self.gate_change.notify_all();
+    }
+
+    fn wait_entered(&self, count: usize) {
+        let mut entered = self.entered.lock().unwrap();
+        while *entered < count {
+            entered = self.entered_change.wait(entered).unwrap();
+        }
+    }
+}
+
+impl BatchExecutor for MockExec {
+    type Request = u64;
+    type Response = u64;
+    type Error = String;
+
+    fn execute_batch(&self, batch: &[u64]) -> Result<Vec<u64>, String> {
+        {
+            let mut entered = self.entered.lock().unwrap();
+            *entered += 1;
+            self.entered_change.notify_all();
+        }
+        let mut gate = self.gate.lock().unwrap();
+        while *gate {
+            gate = self.gate_change.wait(gate).unwrap();
+        }
+        drop(gate);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(batch.len(), Ordering::Relaxed);
+        if batch.contains(&13) {
+            return Err("poison".into());
+        }
+        Ok(batch.iter().map(|x| x * 2).collect())
+    }
+}
+
+#[test]
+fn try_submit_reports_queue_full_backpressure() {
+    let exec = Arc::new(MockExec::new(true));
+    let server = Server::new(
+        Arc::clone(&exec),
+        ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    // First submission is popped by the dispatcher and blocks inside the
+    // executor, leaving the queue empty again.
+    let inflight = server.try_submit(vec![1]).unwrap();
+    exec.wait_entered(1);
+    // Fill the queue to capacity behind the blocked dispatcher.
+    let queued_a = server.try_submit(vec![2]).unwrap();
+    let queued_b = server.try_submit(vec![3]).unwrap();
+    // Backpressure: the queue is full, and the refused batch comes back
+    // to the caller intact for resubmission.
+    match server.try_submit(vec![4]) {
+        Err(rejected) => {
+            assert_eq!(rejected.error, SubmitError::QueueFull);
+            assert_eq!(rejected.requests, vec![4]);
+        }
+        Ok(_) => panic!("expected QueueFull, got a ticket"),
+    }
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.queue_depth(), 2);
+    // Releasing the gate drains everything; every accepted ticket
+    // resolves.
+    exec.release();
+    assert_eq!(inflight.wait(), Ok(vec![2]));
+    assert_eq!(queued_a.wait(), Ok(vec![4]));
+    assert_eq!(queued_b.wait(), Ok(vec![6]));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_resolves_every_inflight_ticket() {
+    let exec = Arc::new(MockExec::new(true));
+    let server = Server::new(
+        Arc::clone(&exec),
+        ServerConfig {
+            queue_capacity: 64,
+            // Coalescing off: every submission is its own engine batch,
+            // so the drain visibly executes each one.
+            max_coalesced_queries: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..10)
+        .map(|i| server.try_submit(vec![i, i + 100]).unwrap())
+        .collect();
+    exec.wait_entered(1);
+    // Shut down while one batch is in-flight and nine are queued; the
+    // gate opens from a helper thread so `shutdown` can drain.
+    let release = {
+        let exec = Arc::clone(&exec);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            exec.release();
+        })
+    };
+    server.shutdown();
+    release.join().unwrap();
+    // Every accepted submission was served before shutdown returned.
+    assert_eq!(exec.batches.load(Ordering::Relaxed), 10);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let i = i as u64;
+        assert_eq!(
+            ticket.try_wait(),
+            Some(Ok(vec![i * 2, (i + 100) * 2])),
+            "ticket {i} unresolved after graceful shutdown"
+        );
+    }
+}
+
+#[test]
+fn submits_after_shutdown_are_refused() {
+    let exec = Arc::new(MockExec::new(false));
+    let server = Arc::new(Server::with_defaults(Arc::clone(&exec)));
+    let ticket = server.submit(vec![5]).unwrap();
+    assert_eq!(ticket.wait(), Ok(vec![10]));
+    // Shutdown through one Arc handle while another still submits — the
+    // production shape (clients keep their handles across shutdown).
+    let client = Arc::clone(&server);
+    server.shutdown();
+    assert!(matches!(
+        client.try_submit(vec![1]),
+        Err(pi_sched::TrySubmitError {
+            error: SubmitError::ShutDown,
+            ..
+        })
+    ));
+    assert!(matches!(client.submit(vec![1]), Err(SubmitError::ShutDown)));
+    // Idempotent.
+    client.shutdown();
+}
+
+#[test]
+fn coalescing_merges_queued_submissions_and_isolates_errors() {
+    let exec = Arc::new(MockExec::new(true));
+    let server = Server::new(
+        Arc::clone(&exec),
+        ServerConfig {
+            queue_capacity: 64,
+            max_coalesced_queries: 256,
+            ..ServerConfig::default()
+        },
+    );
+    // Block the dispatcher, then queue ten submissions — including one
+    // poisoned — so the drain coalesces them.
+    let blocker = server.try_submit(vec![0]).unwrap();
+    exec.wait_entered(1);
+    let good: Vec<_> = (1..=9)
+        .map(|i| server.try_submit(vec![i, i * 10]).unwrap())
+        .collect();
+    let poisoned = server.try_submit(vec![13]).unwrap();
+    exec.release();
+    assert_eq!(blocker.wait(), Ok(vec![0]));
+    for (i, ticket) in good.into_iter().enumerate() {
+        let i = i as u64 + 1;
+        assert_eq!(ticket.wait(), Ok(vec![i * 2, i * 20]), "submission {i}");
+    }
+    // The poisoned submission fails alone; its neighbours above all
+    // succeeded despite sharing a coalesced batch with it.
+    assert_eq!(poisoned.wait(), Err("poison".into()));
+    // Coalescing actually happened: the executor saw one combined batch
+    // holding all ten queued submissions (9 × 2 queries + 1 poison).
+    assert_eq!(exec.max_batch.load(Ordering::Relaxed), 19);
+    assert_eq!(server.stats().accepted, 11);
+
+    // A clean coalesced round (no poison) needs exactly one engine batch
+    // for many submissions.
+    let before = exec.batches.load(Ordering::Relaxed);
+    *exec.gate.lock().unwrap() = true;
+    let blocker = server.try_submit(vec![0]).unwrap();
+    // Phase 1 entered the executor 12 times (1 blocker + 1 combined + 10
+    // isolation retries); wait for this blocker to be the 13th.
+    exec.wait_entered(13);
+    let round: Vec<_> = (1..=5)
+        .map(|i| server.try_submit(vec![i]).unwrap())
+        .collect();
+    exec.release();
+    assert_eq!(blocker.wait(), Ok(vec![0]));
+    for (i, ticket) in round.into_iter().enumerate() {
+        assert_eq!(ticket.wait(), Ok(vec![(i as u64 + 1) * 2]));
+    }
+    assert_eq!(
+        exec.batches.load(Ordering::Relaxed) - before,
+        2,
+        "expected one blocker batch plus one coalesced batch"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn workers_steal_from_a_loaded_sibling() {
+    let pool = Pool::new(4);
+    let done = Arc::new(AtomicUsize::new(0));
+    // Pin every job to worker 0. The jobs sleep long enough that worker 0
+    // cannot finish the queue alone before its siblings wake and steal.
+    for _ in 0..32 {
+        let done = Arc::clone(&done);
+        let job: Job = Box::new(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.spawn(0, job);
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::Relaxed) < 32 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 32, "jobs lost");
+    let stats = pool.stats();
+    assert_eq!(stats.total_executed(), 32);
+    let stolen: u64 = stats.stolen.iter().sum();
+    assert!(
+        stolen > 0,
+        "no stealing despite a loaded sibling: {stats:?}"
+    );
+    // Fairness: the victim did not execute everything itself.
+    assert!(
+        stats.executed[0] < 32,
+        "worker 0 executed every job: {stats:?}"
+    );
+    pool.shutdown();
+}
+
+/// An executor that panics on request value 99 — the dispatcher must
+/// survive, poison only the affected ticket (whose `wait` re-raises
+/// instead of hanging), and keep serving later submissions.
+struct PanickyExec;
+
+impl BatchExecutor for PanickyExec {
+    type Request = u64;
+    type Response = u64;
+    type Error = String;
+
+    fn execute_batch(&self, batch: &[u64]) -> Result<Vec<u64>, String> {
+        if batch.contains(&99) {
+            panic!("executor boom");
+        }
+        Ok(batch.iter().map(|x| x + 1).collect())
+    }
+}
+
+#[test]
+fn executor_panic_poisons_the_ticket_but_not_the_server() {
+    let server = Server::new(
+        Arc::new(PanickyExec),
+        ServerConfig {
+            // Coalescing off so the panicking submission is its own batch.
+            max_coalesced_queries: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let poisoned = server.submit(vec![99]).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || poisoned.wait()));
+    assert!(result.is_err(), "wait() must re-raise the executor panic");
+    // The dispatcher survived: later submissions are served normally.
+    let ok = server.submit(vec![1, 2]).unwrap();
+    assert_eq!(ok.wait(), Ok(vec![2, 3]));
+    let stats = server.stats();
+    assert_eq!(stats.served_requests, 2, "panicked batch must not count");
+    server.shutdown();
+}

@@ -119,15 +119,31 @@ impl RangePartition {
     /// each shard. Always returns exactly [`RangePartition::shard_count`]
     /// buckets; shards whose value range is empty come back empty.
     pub fn split_values(&self, values: &[Value]) -> Vec<Vec<Value>> {
-        let n = self.shard_count();
-        let mut out: Vec<Vec<Value>> = Vec::with_capacity(n);
-        // Pre-size: equi-depth boundaries make ~len/n a good guess.
-        let guess = values.len() / n + 1;
-        out.resize_with(n, || Vec::with_capacity(guess));
+        // Counting pass first: exact pre-sizing beats the reallocation
+        // churn a per-bucket growth strategy pays under skew.
+        let mut out: Vec<Vec<Value>> = self
+            .bucket_sizes(values)
+            .into_iter()
+            .map(Vec::with_capacity)
+            .collect();
         for &v in values {
             out[self.shard_of(v)].push(v);
         }
         out
+    }
+
+    /// Per-shard row counts for `values`, without materialising the
+    /// buckets. This is the *task granularity* signal of the scheduler
+    /// layer: the serving engine weights each shard task by its row count
+    /// and pins shards to pool workers so every worker owns roughly the
+    /// same number of rows, even when duplicate-heavy data skews the
+    /// equi-depth split.
+    pub fn bucket_sizes(&self, values: &[Value]) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shard_count()];
+        for &v in values {
+            sizes[self.shard_of(v)] += 1;
+        }
+        sizes
     }
 
     /// [`RangePartition::split_values`] yielding ready-made [`Column`]s
@@ -256,6 +272,27 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bucket_sizes_match_split() {
+        for (values, shards) in [
+            (skewed_values(), 4),
+            ((0..10_000).rev().collect::<Vec<Value>>(), 8),
+            (vec![7; 500], 3),
+            (vec![], 2),
+        ] {
+            let p = RangePartition::equi_depth(&values, shards);
+            let sizes = p.bucket_sizes(&values);
+            let buckets = p.split_values(&values);
+            assert_eq!(sizes.len(), shards);
+            assert_eq!(
+                sizes,
+                buckets.iter().map(Vec::len).collect::<Vec<_>>(),
+                "{shards} shards over {} values",
+                values.len()
+            );
         }
     }
 

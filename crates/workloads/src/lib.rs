@@ -14,6 +14,10 @@
 //!   dwell-drift-jump query log.
 //! * [`multi_client`] — per-client query streams (deterministic per seed)
 //!   for the `pi-engine` concurrent serving layer.
+//! * [`closed_loop`] — a transport-agnostic closed-loop driver running C
+//!   concurrent clients against any submit function (raw executor or
+//!   `pi-sched` server), reporting served/rejected counts and
+//!   throughput.
 //!
 //! All generators are deterministic given a seed, and all sizes are
 //! parameters so the same code scales from unit tests to full experiment
@@ -34,11 +38,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod closed_loop;
 pub mod data;
 pub mod multi_client;
 pub mod patterns;
 pub mod skyserver;
 
+pub use closed_loop::{BatchOutcome, ClosedLoopReport};
 pub use data::Distribution;
 pub use multi_client::{ClientStream, MultiClientSpec, PatternAssignment};
 pub use patterns::{Pattern, RangeQuery, WorkloadSpec};

@@ -1,20 +1,26 @@
-//! Serve a multi-column table from concurrent clients with `pi-engine`.
+//! Serve a multi-column table from concurrent clients through the full
+//! stack: closed-loop clients → `pi-sched` server (bounded queue, batch
+//! coalescing, backpressure) → engine executor → persistent shard-affine
+//! worker pool → range shards.
 //!
 //! Builds a two-column table (uniform and skewed data), lets the Figure-11
-//! decision tree pick each column's algorithm from the estimated
-//! distribution, then serves eight concurrent clients — one Figure-6
-//! pattern each — while printing per-column convergence as the shards
-//! refine themselves as a side effect of the traffic.
+//! decision tree pick each column's algorithm, then drives eight
+//! closed-loop clients — one Figure-6 pattern each — against the server
+//! while the pool's idle cycles converge the shards in the background.
 //!
 //! ```bash
 //! cargo run --release --example serving_engine
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use progressive_indexes::engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
+use progressive_indexes::engine::{
+    ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer,
+};
 use progressive_indexes::index::budget::BudgetPolicy;
+use progressive_indexes::sched::{ServerConfig, SubmitError};
+use progressive_indexes::workloads::closed_loop::{self, BatchOutcome};
 use progressive_indexes::workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
 use progressive_indexes::workloads::{data, Distribution, WorkloadSpec};
 
@@ -54,8 +60,17 @@ fn main() {
     let executor = Arc::new(Executor::with_config(
         Arc::clone(&table),
         ExecutorConfig {
-            worker_threads: SHARDS,
             maintenance_steps: 16,
+            background_maintenance: true,
+            ..ExecutorConfig::default()
+        },
+    ));
+    let server = Arc::new(TableServer::new(
+        Arc::clone(&executor),
+        ServerConfig {
+            queue_capacity: 64,
+            max_coalesced_queries: 128,
+            ..ServerConfig::default()
         },
     ));
 
@@ -65,32 +80,42 @@ fn main() {
         assignment: PatternAssignment::AllPatterns,
     });
 
+    // Closed-loop clients: try_submit first (observing backpressure),
+    // fall back to the blocking submit when the queue is full.
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for stream in &streams {
-            let executor = Arc::clone(&executor);
-            scope.spawn(move || {
-                for chunk in stream.queries.chunks(20) {
-                    let column = if stream.client % 2 == 0 {
-                        "uniform"
-                    } else {
-                        "skewed"
-                    };
-                    let batch: Vec<TableQuery> = chunk
-                        .iter()
-                        .map(|q| TableQuery::new(column, q.low, q.high))
-                        .collect();
-                    executor.execute_batch(&batch).expect("known column");
-                }
-            });
-        }
+    let report = closed_loop::drive(&streams, 20, |client, batch| {
+        let column = if client % 2 == 0 { "uniform" } else { "skewed" };
+        let queries: Vec<TableQuery> = batch
+            .iter()
+            .map(|q| TableQuery::new(column, q.low, q.high))
+            .collect();
+        let ticket = match server.try_submit(queries) {
+            Ok(ticket) => ticket,
+            Err(rejected) => {
+                assert_eq!(
+                    rejected.error,
+                    SubmitError::QueueFull,
+                    "server not shut down"
+                );
+                // Backpressure observed; this client waits its turn. The
+                // refused batch comes back in the error, ready to resubmit.
+                server.submit(rejected.requests).expect("server serving")
+            }
+        };
+        ticket.wait().expect("known column");
+        BatchOutcome::Served
     });
-    let served = CLIENTS * QUERIES_PER_CLIENT;
     let elapsed = start.elapsed();
+    let stats = server.stats();
     println!(
-        "\nserved {served} queries from {CLIENTS} clients in {elapsed:.2?} \
-         ({:.0} queries/s)",
-        served as f64 / elapsed.as_secs_f64()
+        "\nserved {} queries from {CLIENTS} clients in {elapsed:.2?} ({:.0} queries/s)",
+        report.served,
+        report.queries_per_second()
+    );
+    println!(
+        "  server: {} submissions accepted, {} rejected by backpressure, \
+         {} engine batches after coalescing",
+        stats.accepted, stats.rejected, stats.executed_batches
     );
 
     for (name, status) in table.status() {
@@ -102,8 +127,22 @@ fn main() {
         );
     }
 
-    let steps = executor.drive_to_convergence(usize::MAX);
-    println!("\nmaintenance spent {steps} budgeted steps to finish convergence");
+    // No client traffic any more: idle cycles finish the convergence.
+    print!("\nwaiting for background maintenance to converge the table");
+    std::io::Write::flush(&mut std::io::stdout()).expect("stdout flush");
+    let wait = Instant::now();
+    while !table.is_converged() && wait.elapsed() < Duration::from_secs(600) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(" — done in {:.2?}", wait.elapsed());
+    let pool = executor.pool_stats();
+    println!(
+        "  pool: {} jobs executed ({} stolen, {} caller-helped), {} idle maintenance steps",
+        pool.total_executed(),
+        pool.stolen.iter().sum::<u64>(),
+        pool.helped,
+        pool.idle_work
+    );
     for (name, status) in table.status() {
         println!(
             "  column {name:>8}: phase {:>13}, converged: {}",
@@ -111,4 +150,5 @@ fn main() {
             status.converged
         );
     }
+    server.shutdown();
 }

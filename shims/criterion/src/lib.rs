@@ -70,6 +70,7 @@ pub struct Bencher {
     samples: usize,
     measurement_time: Duration,
     elapsed: Duration,
+    fastest: Duration,
     iterations: u64,
 }
 
@@ -79,13 +80,17 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // One untimed warm-up call.
         black_box(routine());
-        let start = Instant::now();
+        let wall = Instant::now();
+        let mut fastest = Duration::MAX;
         let mut iterations = 0u64;
-        while iterations < self.samples as u64 && start.elapsed() < self.measurement_time {
+        while iterations < self.samples as u64 && wall.elapsed() < self.measurement_time {
+            let start = Instant::now();
             black_box(routine());
+            fastest = fastest.min(start.elapsed());
             iterations += 1;
         }
-        self.elapsed = start.elapsed();
+        self.elapsed = wall.elapsed();
+        self.fastest = fastest.min(self.elapsed);
         self.iterations = iterations.max(1);
     }
 
@@ -98,23 +103,26 @@ impl Bencher {
     {
         black_box(routine(setup()));
         let mut timed = Duration::ZERO;
+        let mut fastest = Duration::MAX;
         let mut iterations = 0u64;
         let wall = Instant::now();
         while iterations < self.samples as u64 && wall.elapsed() < self.measurement_time {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            timed += start.elapsed();
+            let sample = start.elapsed();
+            timed += sample;
+            fastest = fastest.min(sample);
             iterations += 1;
         }
         self.elapsed = timed;
+        self.fastest = fastest.min(self.elapsed);
         self.iterations = iterations.max(1);
     }
 }
 
-fn report(path: &str, elapsed: Duration, iterations: u64) {
-    let per_iter = elapsed.as_secs_f64() / iterations as f64;
-    let (value, unit) = if per_iter >= 1.0 {
+fn scale(per_iter: f64) -> (f64, &'static str) {
+    if per_iter >= 1.0 {
         (per_iter, "s")
     } else if per_iter >= 1e-3 {
         (per_iter * 1e3, "ms")
@@ -122,8 +130,17 @@ fn report(path: &str, elapsed: Duration, iterations: u64) {
         (per_iter * 1e6, "µs")
     } else {
         (per_iter * 1e9, "ns")
-    };
-    println!("{path:<60} time: {value:>10.3} {unit}/iter ({iterations} iterations)");
+    }
+}
+
+fn report(path: &str, elapsed: Duration, fastest: Duration, iterations: u64) {
+    let per_iter = elapsed.as_secs_f64() / iterations as f64;
+    let (value, unit) = scale(per_iter);
+    let (min_value, min_unit) = scale(fastest.as_secs_f64());
+    println!(
+        "{path:<60} time: {value:>10.3} {unit}/iter \
+         (min {min_value:.3} {min_unit}, {iterations} iterations)"
+    );
 }
 
 /// A named group of related benchmarks.
@@ -182,12 +199,31 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One finished measurement, exposed through [`Criterion::results`] so
+/// bench binaries can emit machine-readable reports (the real criterion
+/// writes `target/criterion/**/estimates.json`; this shim hands the
+/// numbers back in-process instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark path, e.g. `group/function/parameter`.
+    pub id: String,
+    /// Mean wall-clock seconds per iteration.
+    pub seconds_per_iter: f64,
+    /// Fastest single iteration — the noise-robust estimator (the real
+    /// criterion reports `[min typical max]`; on a loaded host the min
+    /// tracks the routine's cost, the mean tracks the host's).
+    pub min_seconds_per_iter: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     #[allow(dead_code)]
     warm_up_time: Duration,
+    results: std::cell::RefCell<Vec<BenchResult>>,
 }
 
 impl Default for Criterion {
@@ -196,6 +232,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(200),
+            results: std::cell::RefCell::new(Vec::new()),
         }
     }
 }
@@ -237,11 +274,32 @@ impl Criterion {
         self
     }
 
+    /// Every measurement this driver has completed so far, in run order.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.borrow().clone()
+    }
+
+    /// Records an externally measured result, printing it like a run
+    /// benchmark. Benches use this for *paired* designs — alternating
+    /// configurations within one sampling loop so that machine-speed
+    /// drift hits every configuration equally — which `Bencher`'s
+    /// one-configuration-at-a-time loop cannot express.
+    pub fn record_result(&self, result: BenchResult) {
+        report(
+            &result.id,
+            Duration::from_secs_f64(result.seconds_per_iter * result.iterations as f64),
+            Duration::from_secs_f64(result.min_seconds_per_iter),
+            result.iterations,
+        );
+        self.results.borrow_mut().push(result);
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(&self, path: &str, mut f: F) {
         let mut bencher = Bencher {
             samples: self.sample_size,
             measurement_time: self.measurement_time,
             elapsed: Duration::ZERO,
+            fastest: Duration::MAX,
             iterations: 0,
         };
         f(&mut bencher);
@@ -249,7 +307,13 @@ impl Criterion {
             // The routine never called iter(); nothing to report.
             println!("{path:<60} (no measurement)");
         } else {
-            report(path, bencher.elapsed, bencher.iterations);
+            report(path, bencher.elapsed, bencher.fastest, bencher.iterations);
+            self.results.borrow_mut().push(BenchResult {
+                id: path.to_string(),
+                seconds_per_iter: bencher.elapsed.as_secs_f64() / bencher.iterations as f64,
+                min_seconds_per_iter: bencher.fastest.as_secs_f64(),
+                iterations: bencher.iterations,
+            });
         }
     }
 }
@@ -314,5 +378,25 @@ mod tests {
     #[test]
     fn group_runs_to_completion() {
         benches();
+    }
+
+    #[test]
+    fn results_are_recorded_per_benchmark() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        sample_bench(&mut c);
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "shim/iter/1");
+        assert_eq!(results[1].id, "shim/plain");
+        for r in &results {
+            assert!(r.iterations > 0, "{r:?}");
+            assert!(r.seconds_per_iter >= 0.0, "{r:?}");
+            assert!(
+                r.min_seconds_per_iter <= r.seconds_per_iter,
+                "min above mean: {r:?}"
+            );
+        }
     }
 }

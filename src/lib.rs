@@ -15,6 +15,9 @@
 //!   ([`pi_workloads`]).
 //! * [`engine`] — the sharded, concurrent query-serving engine: multi-column
 //!   tables, range shards, batched parallel execution ([`pi_engine`]).
+//! * [`sched`] — the persistent runtime underneath: shard-affine
+//!   work-stealing worker pool and the async-style serving front-end with
+//!   bounded queue, coalescing and backpressure ([`pi_sched`]).
 //! * [`experiments`] — the harness reproducing the paper's figures and
 //!   tables ([`pi_experiments`]).
 //!
@@ -27,6 +30,7 @@ pub use pi_core as index;
 pub use pi_cracking as cracking;
 pub use pi_engine as engine;
 pub use pi_experiments as experiments;
+pub use pi_sched as sched;
 pub use pi_storage as storage;
 pub use pi_workloads as workloads;
 
