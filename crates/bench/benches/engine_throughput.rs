@@ -25,9 +25,11 @@ use criterion::{black_box, BenchResult, Criterion};
 
 use pi_bench::BENCH_SCALE;
 use pi_core::budget::BudgetPolicy;
+use pi_core::mutation::Mutation;
 use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
 use pi_sched::ServerConfig;
-use pi_workloads::closed_loop::{self, BatchOutcome};
+use pi_workloads::closed_loop::{self, BatchOutcome, LatencyPercentiles};
+use pi_workloads::mixed::{self, MixedOp, MixedSpec, WriteOp};
 use pi_workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
 use pi_workloads::{data, Distribution, WorkloadSpec};
 
@@ -99,24 +101,29 @@ fn client_streams(params: BenchParams) -> Vec<multi_client::ClientStream> {
 }
 
 /// Runs `CLIENT_THREADS` concurrent closed-loop clients, each submitting
-/// its stream in batches of ten; returns the total number of queries
-/// served.
-fn serve(executor: &Executor, streams: &[multi_client::ClientStream]) -> usize {
-    let report = closed_loop::drive(streams, 10, |_client, chunk| {
+/// its stream in batches of ten; returns the closed-loop report (served
+/// count, throughput, per-batch latency percentiles).
+fn serve(
+    executor: &Executor,
+    streams: &[multi_client::ClientStream],
+) -> closed_loop::ClosedLoopReport {
+    closed_loop::drive(streams, 10, |_client, chunk| {
         let batch: Vec<TableQuery> = chunk
             .iter()
             .map(|q| TableQuery::new("a", q.low, q.high))
             .collect();
         black_box(executor.execute_batch(&batch).expect("known column"));
         BatchOutcome::Served
-    });
-    report.served
+    })
 }
 
 /// Like [`serve`], but through the `pi-sched` server front-end (bounded
 /// queue, coalescing across clients).
-fn serve_via_server(server: &TableServer, streams: &[multi_client::ClientStream]) -> usize {
-    let report = closed_loop::drive(streams, 10, |_client, chunk| {
+fn serve_via_server(
+    server: &TableServer,
+    streams: &[multi_client::ClientStream],
+) -> closed_loop::ClosedLoopReport {
+    closed_loop::drive(streams, 10, |_client, chunk| {
         let batch: Vec<TableQuery> = chunk
             .iter()
             .map(|q| TableQuery::new("a", q.low, q.high))
@@ -129,8 +136,7 @@ fn serve_via_server(server: &TableServer, streams: &[multi_client::ClientStream]
                 .expect("known column"),
         );
         BatchOutcome::Served
-    });
-    report.served
+    })
 }
 
 /// Sample accumulator for one configuration of a paired group. The
@@ -143,6 +149,32 @@ fn serve_via_server(server: &TableServer, streams: &[multi_client::ClientStream]
 struct Paired {
     id: String,
     samples: Vec<f64>,
+    /// Per-round batch-latency percentiles; the JSON reports the median
+    /// round's percentile for each of p50/p95/p99 (the same fair
+    /// cross-configuration estimator as the throughput median).
+    latencies: Vec<LatencyPercentiles>,
+}
+
+/// Median of each percentile across rounds, in microseconds.
+#[derive(Clone, Copy, Default)]
+struct LatencySummary {
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Median of a sample set (0.0 when empty).
+fn median(mut samples: Vec<f64>) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 impl Paired {
@@ -150,26 +182,43 @@ impl Paired {
         Paired {
             id,
             samples: Vec::new(),
+            latencies: Vec::new(),
         }
     }
 
-    fn add(&mut self, seconds: f64) {
+    fn add(&mut self, seconds: f64, latency: LatencyPercentiles) {
         self.samples.push(seconds);
+        self.latencies.push(latency);
     }
 
-    fn record(mut self, c: &Criterion) {
-        self.samples.sort_by(f64::total_cmp);
-        let n = self.samples.len();
-        let median = if n % 2 == 1 {
-            self.samples[n / 2]
-        } else {
-            (self.samples[n / 2 - 1] + self.samples[n / 2]) / 2.0
+    fn record(self, c: &Criterion, latency_out: &mut Vec<(String, LatencySummary)>) {
+        let summary = LatencySummary {
+            p50_us: median(
+                self.latencies
+                    .iter()
+                    .map(|l| l.p50.as_secs_f64() * 1e6)
+                    .collect(),
+            ),
+            p95_us: median(
+                self.latencies
+                    .iter()
+                    .map(|l| l.p95.as_secs_f64() * 1e6)
+                    .collect(),
+            ),
+            p99_us: median(
+                self.latencies
+                    .iter()
+                    .map(|l| l.p99.as_secs_f64() * 1e6)
+                    .collect(),
+            ),
         };
+        latency_out.push((self.id.clone(), summary));
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
         c.record_result(BenchResult {
+            iterations: self.samples.len() as u64,
             id: self.id,
-            seconds_per_iter: median,
-            min_seconds_per_iter: self.samples[0],
-            iterations: n as u64,
+            seconds_per_iter: median(self.samples),
+            min_seconds_per_iter: min,
         });
     }
 }
@@ -178,9 +227,14 @@ impl Paired {
 /// configurations back to back. `routine(config_index)` runs one sample
 /// and returns the measured serve time — setup (table build) stays
 /// outside the measurement, like `iter_batched`.
-fn paired_rounds<F>(c: &Criterion, ids: Vec<String>, rounds: usize, mut routine: F)
-where
-    F: FnMut(usize) -> std::time::Duration,
+fn paired_rounds<F>(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    ids: Vec<String>,
+    rounds: usize,
+    mut routine: F,
+) where
+    F: FnMut(usize) -> (std::time::Duration, LatencyPercentiles),
 {
     let mut acc: Vec<Paired> = ids.into_iter().map(Paired::new).collect();
     let n = acc.len();
@@ -189,15 +243,20 @@ where
         // penalises the first and last configuration alternately.
         for k in 0..n {
             let i = if round % 2 == 0 { k } else { n - 1 - k };
-            acc[i].add(routine(i).as_secs_f64());
+            let (elapsed, latency) = routine(i);
+            acc[i].add(elapsed.as_secs_f64(), latency);
         }
     }
     for slot in acc {
-        slot.record(c);
+        slot.record(c, latency_out);
     }
 }
 
-fn bench_shard_scaling(c: &Criterion, params: BenchParams) {
+fn bench_shard_scaling(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
     const SHARDS: [usize; 4] = [1, 2, 4, 8];
     let ids = SHARDS
         .iter()
@@ -206,30 +265,38 @@ fn bench_shard_scaling(c: &Criterion, params: BenchParams) {
     let streams = client_streams(params);
     // A fresh table per measurement so every sample pays the same mix of
     // indexing work (cold start → refinement).
-    paired_rounds(c, ids, params.rounds, |i| {
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
         let executor = build_executor(params, SHARDS[i], 0.25);
         let start = Instant::now();
-        black_box(serve(&executor, &streams));
-        start.elapsed()
+        let report = black_box(serve(&executor, &streams));
+        (start.elapsed(), report.latency)
     });
 }
 
-fn bench_budget_impact(c: &Criterion, params: BenchParams) {
+fn bench_budget_impact(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
     const DELTAS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
     let ids = DELTAS
         .iter()
         .map(|d| format!("engine_throughput/delta/serve_4_shards/{d}"))
         .collect();
     let streams = client_streams(params);
-    paired_rounds(c, ids, params.rounds, |i| {
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
         let executor = build_executor(params, 4, DELTAS[i]);
         let start = Instant::now();
-        black_box(serve(&executor, &streams));
-        start.elapsed()
+        let report = black_box(serve(&executor, &streams));
+        (start.elapsed(), report.latency)
     });
 }
 
-fn bench_converged_serving(c: &Criterion, params: BenchParams) {
+fn bench_converged_serving(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
     const SHARDS: [usize; 2] = [1, 4];
     let executors: Vec<Executor> = SHARDS
         .iter()
@@ -244,39 +311,108 @@ fn bench_converged_serving(c: &Criterion, params: BenchParams) {
         .map(|s| format!("engine_throughput/converged/serve/{s}"))
         .collect();
     let streams = client_streams(params);
-    paired_rounds(c, ids, params.rounds, |i| {
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
         let start = Instant::now();
-        black_box(serve(&executors[i], &streams));
-        start.elapsed()
+        let report = black_box(serve(&executors[i], &streams));
+        (start.elapsed(), report.latency)
     });
 }
 
-fn bench_server_front_end(c: &Criterion, params: BenchParams) {
+fn bench_server_front_end(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
     const SHARDS: [usize; 2] = [1, 8];
     let streams = client_streams(params);
     let ids = SHARDS
         .iter()
         .map(|s| format!("engine_throughput/server/serve/{s}"))
         .collect();
-    paired_rounds(c, ids, params.rounds, |i| {
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
         let server = TableServer::new(
             Arc::new(build_executor(params, SHARDS[i], 0.25)),
             ServerConfig::default(),
         );
         let start = Instant::now();
-        black_box(serve_via_server(&server, &streams));
+        let report = black_box(serve_via_server(&server, &streams));
         let elapsed = start.elapsed();
         server.shutdown();
-        elapsed
+        (elapsed, report.latency)
+    });
+}
+
+/// Mixed read/write serving: a single serial client per write fraction,
+/// interleaving mutation batches with query batches on a 4-shard table —
+/// the serving-side cost of mutation support. Unlike the other groups
+/// (4 concurrent closed-loop clients), this group is single-threaded and
+/// its stream contains writes, so its JSON `queries_per_second` field is
+/// really **operations/second (reads + writes)**; compare mixed entries
+/// only against each other across PRs, not against the other groups.
+fn bench_mixed_workload(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
+    const WRITE_FRACTIONS: [f64; 3] = [0.0, 0.1, 0.3];
+    let ids = WRITE_FRACTIONS
+        .iter()
+        .map(|w| format!("engine_throughput/mixed/serve_4_shards/{w}"))
+        .collect();
+    let ops: Vec<Vec<MixedOp>> = WRITE_FRACTIONS
+        .iter()
+        .map(|&w| {
+            mixed::generate(
+                &MixedSpec::new(params.rows as u64, params.queries_per_run(), w)
+                    .with_seed(97)
+                    .with_insert_domain(params.rows as u64 * 2),
+            )
+        })
+        .collect();
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let executor = build_executor(params, 4, 0.25);
+        let mut latencies = Vec::new();
+        let start = Instant::now();
+        // Submit in batches of ten ops, writes and reads separated per
+        // batch (the engine takes homogeneous batches).
+        for chunk in ops[i].chunks(10) {
+            let submitted = Instant::now();
+            let mut queries = Vec::new();
+            let mut writes = Vec::new();
+            for op in chunk {
+                match *op {
+                    MixedOp::Read(q) => queries.push(TableQuery::new("a", q.low, q.high)),
+                    MixedOp::Write(w) => writes.push(match w {
+                        WriteOp::Insert(v) => Mutation::Insert(v),
+                        WriteOp::Delete(v) => Mutation::Delete(v),
+                        WriteOp::Update { old, new } => Mutation::Update { old, new },
+                    }),
+                }
+            }
+            if !writes.is_empty() {
+                black_box(
+                    executor
+                        .apply_mutations("a", &writes)
+                        .expect("known column"),
+                );
+            }
+            if !queries.is_empty() {
+                black_box(executor.execute_batch(&queries).expect("known column"));
+            }
+            latencies.push(submitted.elapsed());
+        }
+        (start.elapsed(), LatencyPercentiles::from_samples(latencies))
     });
 }
 
 /// Renders the results as `BENCH_engine.json`: queries/s per benchmark,
-/// grouped the way the ids are (`shards`, `delta`, `converged`,
-/// `server`). `queries_per_second` comes from the **median** paired
-/// round (see [`Paired`]); the fastest round rides along as
-/// `min_seconds_per_iter`.
-fn write_json(c: &Criterion, params: BenchParams) {
+/// grouped the way the ids are (`shards`, `delta`, `converged`, `server`,
+/// `mixed`). `queries_per_second` comes from the **median** paired round
+/// (see [`Paired`]); the fastest round rides along as
+/// `min_seconds_per_iter`, and each entry reports the median round's
+/// per-batch latency percentiles in microseconds (`p50_us`/`p95_us`/
+/// `p99_us`).
+fn write_json(c: &Criterion, latency: &[(String, LatencySummary)], params: BenchParams) {
     let queries = params.queries_per_run() as f64;
     let mut entries = String::new();
     for (i, result) in c.results().iter().enumerate() {
@@ -286,6 +422,11 @@ fn write_json(c: &Criterion, params: BenchParams) {
         let _prefix = parts.next();
         let group = parts.next().unwrap_or("unknown");
         let param = parts.next_back().unwrap_or("?");
+        let l = latency
+            .iter()
+            .find(|(id, _)| *id == result.id)
+            .map(|&(_, l)| l)
+            .unwrap_or_default();
         if i > 0 {
             entries.push_str(",\n");
         }
@@ -293,8 +434,14 @@ fn write_json(c: &Criterion, params: BenchParams) {
             "    {{\"group\": \"{group}\", \"param\": \"{param}\", \
              \"queries_per_second\": {qps:.1}, \
              \"median_seconds_per_iter\": {:.6}, \
-             \"min_seconds_per_iter\": {:.6}, \"iterations\": {}}}",
-            result.seconds_per_iter, result.min_seconds_per_iter, result.iterations
+             \"min_seconds_per_iter\": {:.6}, \"iterations\": {}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+            result.seconds_per_iter,
+            result.min_seconds_per_iter,
+            result.iterations,
+            l.p50_us,
+            l.p95_us,
+            l.p99_us
         ));
     }
     let json = format!(
@@ -311,13 +458,15 @@ fn write_json(c: &Criterion, params: BenchParams) {
 fn main() {
     let params = BenchParams::from_env();
     let c = Criterion::default();
-    bench_shard_scaling(&c, params);
-    bench_budget_impact(&c, params);
-    bench_converged_serving(&c, params);
-    bench_server_front_end(&c, params);
+    let mut latency: Vec<(String, LatencySummary)> = Vec::new();
+    bench_shard_scaling(&c, &mut latency, params);
+    bench_budget_impact(&c, &mut latency, params);
+    bench_converged_serving(&c, &mut latency, params);
+    bench_server_front_end(&c, &mut latency, params);
+    bench_mixed_workload(&c, &mut latency, params);
     if params.smoke {
         println!("\nsmoke iteration complete ({} results)", c.results().len());
     } else {
-        write_json(&c, params);
+        write_json(&c, &latency, params);
     }
 }

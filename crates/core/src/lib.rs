@@ -33,6 +33,17 @@
 //! into δ once, or an adaptive time budget re-translated before every
 //! query using the algorithm's [`cost_model`].
 //!
+//! ## Mutations
+//!
+//! The paper assumes an append-only column; [`mutation::MutableIndex`]
+//! removes that limitation for all four algorithms at once. Inserts,
+//! deletes and updates accumulate in a pending-delta sidecar
+//! ([`pi_storage::delta::DeltaSidecar`]) while the inner index keeps
+//! refining its immutable snapshot; queries compose the two and stay exact
+//! at every refinement stage, and the sidecar is folded back in by an
+//! incremental, budget-driven merge that restarts the lifecycle on a fresh
+//! snapshot. See the [`mutation`] module docs.
+//!
 //! ## Example
 //!
 //! ```
@@ -66,6 +77,7 @@ pub mod budget;
 pub mod cost_model;
 pub mod decision;
 pub mod index;
+pub mod mutation;
 pub mod quicksort;
 pub mod radix_lsd;
 pub mod radix_msd;
@@ -78,6 +90,7 @@ pub use budget::{BudgetController, BudgetPolicy};
 pub use cost_model::{CostConstants, CostModel};
 pub use decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
 pub use index::RangeIndex;
+pub use mutation::{MutableConfig, MutableIndex, Mutation};
 pub use quicksort::ProgressiveQuicksort;
 pub use radix_lsd::ProgressiveRadixsortLsd;
 pub use radix_msd::ProgressiveRadixsortMsd;
@@ -91,6 +104,7 @@ pub mod prelude {
     pub use crate::cost_model::{CostConstants, CostModel};
     pub use crate::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
     pub use crate::index::RangeIndex;
+    pub use crate::mutation::{MutableConfig, MutableIndex, Mutation};
     pub use crate::quicksort::ProgressiveQuicksort;
     pub use crate::radix_lsd::ProgressiveRadixsortLsd;
     pub use crate::radix_msd::ProgressiveRadixsortMsd;

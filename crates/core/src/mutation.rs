@@ -1,0 +1,715 @@
+//! Update/delete support on progressive indexes: the [`MutableIndex`]
+//! wrapper and its incremental, budget-driven delta merge.
+//!
+//! The paper's algorithms assume an append-only column. [`MutableIndex`]
+//! removes that limitation for **all four** progressive algorithms at once
+//! without touching their internals, by keeping the refinement state
+//! (quicksort pivot trees, bucketsort/radixsort buckets, per-piece
+//! boundaries) consistent the only way that is safe while it is mid-flight:
+//! the base snapshot the inner index refines is **never mutated**.
+//! Mutations accumulate in a [`DeltaSidecar`]; every query composes
+//!
+//! ```text
+//! answer = inner-index(base snapshot) + pending inserts − pending tombstones
+//! ```
+//!
+//! so answers are exact at every refinement stage, from the first creation
+//! query to long after convergence.
+//!
+//! The sidecar is then folded back into the index **incrementally**, by the
+//! same budgeted-step machinery that drives refinement (see
+//! [`crate::budget::StepBudget`] at the engine layer): once the sidecar
+//! outgrows [`MutableConfig::merge_fraction`] of the live rows — or the
+//! inner index has converged with deltas still pending — a *merge* starts.
+//! Each budgeted step copies `δ · N` live values (base values minus their
+//! tombstones, then the pending inserts) into a fresh snapshot; queries keep
+//! being answered from the old snapshot plus the frozen deltas throughout.
+//! When the copy completes, a new inner index is built over the merged
+//! snapshot and the lifecycle starts over at the creation phase — which is
+//! exactly the "mutated converged shard re-enters maintenance" behaviour
+//! the serving engine relies on: deterministic convergence is preserved,
+//! it just restarts whenever mutations have invalidated the converged
+//! state.
+//!
+//! ## Semantics
+//!
+//! The column is a **multiset of values** (the paper's workload is
+//! `SUM`/`COUNT BETWEEN`, so rows have no identity beyond their value):
+//!
+//! * [`Mutation::Insert`] adds one occurrence — always applies.
+//! * [`Mutation::Delete`] removes one live occurrence — applies only if
+//!   one exists (validated with a point lookup, which doubles as that
+//!   mutation's budgeted slice of indexing work).
+//! * [`Mutation::Update`] is delete-then-insert, applied atomically: the
+//!   insert happens only if the delete found its victim.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pi_core::mutation::{MutableIndex, Mutation};
+//! use pi_core::{Algorithm, BudgetPolicy};
+//! use pi_storage::Column;
+//!
+//! let column = Arc::new(Column::from_vec(vec![10, 20, 30]));
+//! let mut index = MutableIndex::new(column, Algorithm::Quicksort,
+//!                                   BudgetPolicy::FixedDelta(0.5));
+//!
+//! assert!(index.apply(&Mutation::Insert(25)));
+//! assert!(index.apply(&Mutation::Delete(10)));
+//! assert!(!index.apply(&Mutation::Delete(99))); // no such live row
+//!
+//! // Exact immediately, mid-refinement: live multiset is {20, 25, 30}.
+//! let r = index.query(0, 100);
+//! assert_eq!((r.sum, r.count), (75, 3));
+//!
+//! // Maintenance steps drive refinement AND the delta merge; the index
+//! // reaches a truly converged, delta-free state.
+//! while index.advance() {}
+//! assert!(index.is_converged() && !index.has_pending());
+//! assert_eq!(index.query(0, 100).count, 3);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pi_storage::delta::DeltaSidecar;
+use pi_storage::scan::ScanResult;
+use pi_storage::{Column, Value};
+
+use crate::budget::BudgetPolicy;
+use crate::decision::Algorithm;
+use crate::index::RangeIndex;
+use crate::result::{IndexStatus, Phase, QueryResult};
+
+/// A single write against a mutable progressive index. The column is a
+/// multiset of values; see the [module docs](self) for the exact
+/// semantics of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Add one occurrence of the value.
+    Insert(Value),
+    /// Remove one live occurrence of the value; rejected when none exists.
+    Delete(Value),
+    /// Atomically replace one live occurrence of `old` with `new`;
+    /// rejected (and `new` not inserted) when no live `old` exists.
+    Update {
+        /// The value to remove.
+        old: Value,
+        /// The value to insert in its place.
+        new: Value,
+    },
+}
+
+/// Tuning knobs for [`MutableIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutableConfig {
+    /// Fraction of the live row count the pending sidecar may reach before
+    /// an incremental merge is started (the merge also starts, regardless
+    /// of this knob, once the inner index has converged with deltas
+    /// pending — maintenance always drives towards a delta-free state).
+    pub merge_fraction: f64,
+    /// Minimum pending entries before the fraction trigger fires, so tiny
+    /// columns don't merge on every single mutation.
+    pub merge_min_pending: usize,
+    /// Fraction of the merged snapshot's rows copied per budgeted merge
+    /// step — the merge-phase analogue of the per-query δ.
+    pub merge_delta: f64,
+}
+
+impl Default for MutableConfig {
+    fn default() -> Self {
+        MutableConfig {
+            merge_fraction: 0.1,
+            merge_min_pending: 256,
+            merge_delta: 0.25,
+        }
+    }
+}
+
+/// State of an in-flight incremental merge: the frozen deltas being folded
+/// in, the new snapshot under construction, and the copy cursors.
+struct MergeState {
+    /// The sidecar captured when the merge started; still consulted by
+    /// queries (the old snapshot remains the answering structure until the
+    /// swap).
+    frozen: DeltaSidecar,
+    /// Tombstone occurrences not yet consumed by the copy loop.
+    tomb_remaining: HashMap<Value, u64>,
+    /// The merged live values accumulated so far.
+    out: Vec<Value>,
+    /// Base-snapshot rows consumed.
+    consumed: usize,
+    /// Frozen inserts appended.
+    inserted: usize,
+}
+
+impl MergeState {
+    fn start(frozen: DeltaSidecar, base_len: usize) -> Self {
+        let mut tomb_remaining: HashMap<Value, u64> = HashMap::new();
+        for &t in frozen.tombstones() {
+            *tomb_remaining.entry(t).or_insert(0) += 1;
+        }
+        let capacity =
+            (base_len + frozen.inserts().len()).saturating_sub(frozen.tombstones().len());
+        MergeState {
+            frozen,
+            tomb_remaining,
+            out: Vec::with_capacity(capacity),
+            consumed: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Copies up to `ops` live values into the new snapshot. Returns
+    /// `true` when the merge copy is complete.
+    fn step(&mut self, base: &Column, ops: usize) -> bool {
+        let mut budget = ops.max(1);
+        let data = base.data();
+        while budget > 0 && self.consumed < data.len() {
+            let v = data[self.consumed];
+            self.consumed += 1;
+            budget -= 1;
+            match self.tomb_remaining.get_mut(&v) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => self.out.push(v),
+            }
+        }
+        let inserts = self.frozen.inserts();
+        while budget > 0 && self.inserted < inserts.len() {
+            self.out.push(inserts[self.inserted]);
+            self.inserted += 1;
+            budget -= 1;
+        }
+        self.consumed == data.len() && self.inserted == inserts.len()
+    }
+}
+
+/// A mutable progressive index: any of the paper's four algorithms plus a
+/// pending-delta sidecar and an incremental merge, behind the same
+/// query/advance interface the immutable indexes expose. See the
+/// [module docs](self) for the design.
+pub struct MutableIndex {
+    /// The immutable base snapshot the inner index refines.
+    base: Arc<Column>,
+    /// The inner progressive index; `None` while the base snapshot is
+    /// empty (an empty column has nothing to index — inserts live in the
+    /// sidecar until a merge builds the first real snapshot).
+    inner: Option<Box<dyn RangeIndex + Send>>,
+    /// Mutations not yet part of any merge.
+    pending: DeltaSidecar,
+    /// In-flight incremental merge, if any.
+    merge: Option<MergeState>,
+    algorithm: Algorithm,
+    policy: BudgetPolicy,
+    config: MutableConfig,
+    /// Total merges completed (instrumentation: each one restarted the
+    /// progressive lifecycle on a fresh snapshot).
+    merges_completed: u64,
+}
+
+impl MutableIndex {
+    /// Creates a mutable index over `column`, running `algorithm` with the
+    /// given per-query budget `policy` and default [`MutableConfig`].
+    pub fn new(column: Arc<Column>, algorithm: Algorithm, policy: BudgetPolicy) -> Self {
+        Self::with_config(column, algorithm, policy, MutableConfig::default())
+    }
+
+    /// [`MutableIndex::new`] with explicit merge tuning.
+    pub fn with_config(
+        column: Arc<Column>,
+        algorithm: Algorithm,
+        policy: BudgetPolicy,
+        config: MutableConfig,
+    ) -> Self {
+        let inner = (!column.is_empty()).then(|| algorithm.build(Arc::clone(&column), policy));
+        MutableIndex {
+            base: column,
+            inner,
+            pending: DeltaSidecar::new(),
+            merge: None,
+            algorithm,
+            policy,
+            config,
+            merges_completed: 0,
+        }
+    }
+
+    /// The algorithm running inside this index.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of live rows: base snapshot minus tombstones plus pending
+    /// inserts (frozen and fresh).
+    pub fn live_rows(&self) -> usize {
+        let frozen_net = self.merge.as_ref().map_or(0, |m| m.frozen.net_rows());
+        let net = self.base.len() as i64 + frozen_net + self.pending.net_rows();
+        debug_assert!(net >= 0, "live row count went negative");
+        net.max(0) as usize
+    }
+
+    /// `true` while mutations are pending (in the fresh sidecar or an
+    /// in-flight merge) — i.e. the base snapshot does not yet reflect
+    /// every applied mutation.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty() || self.merge.is_some()
+    }
+
+    /// Pending entries not yet folded into the base snapshot (fresh
+    /// sidecar only; an in-flight merge's frozen deltas are already being
+    /// consumed).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of completed merges (each rebuilt the snapshot and restarted
+    /// the progressive lifecycle).
+    pub fn merges_completed(&self) -> u64 {
+        self.merges_completed
+    }
+
+    /// `true` once the inner index has converged **and** no deltas are
+    /// pending: the terminal, maintenance-free state.
+    pub fn is_converged(&self) -> bool {
+        self.inner_converged() && !self.has_pending()
+    }
+
+    fn inner_converged(&self) -> bool {
+        self.inner.as_ref().is_none_or(|i| i.is_converged())
+    }
+
+    /// Live occurrences of exactly `v`, across snapshot and deltas. The
+    /// point lookup doubles as a budgeted slice of indexing work on the
+    /// inner index.
+    fn live_count_of(&mut self, v: Value) -> i64 {
+        let in_base = match &mut self.inner {
+            Some(inner) => inner.query(v, v).count as i64,
+            None => 0,
+        };
+        let frozen = self.merge.as_ref().map_or(0, |m| m.frozen.net_count_of(v));
+        in_base + frozen + self.pending.net_count_of(v)
+    }
+
+    /// Applies one mutation. Returns whether it took effect (inserts
+    /// always do; deletes and updates only when a live victim exists).
+    pub fn apply(&mut self, mutation: &Mutation) -> bool {
+        let applied = match *mutation {
+            Mutation::Insert(v) => {
+                self.pending.insert(v);
+                true
+            }
+            Mutation::Delete(v) => self.delete_one(v),
+            Mutation::Update { old, new } => {
+                if self.delete_one(old) {
+                    self.pending.insert(new);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if applied {
+            self.maybe_start_merge();
+        }
+        applied
+    }
+
+    fn delete_one(&mut self, v: Value) -> bool {
+        // Cheap path: consume a pending insert of the same value.
+        if self.pending.cancel_insert(v) {
+            return true;
+        }
+        if self.live_count_of(v) > 0 {
+            self.pending.add_tombstone(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Starts an incremental merge when the sidecar has outgrown the
+    /// configured fraction of the live rows.
+    fn maybe_start_merge(&mut self) {
+        if self.merge.is_some() || self.pending.is_empty() {
+            return;
+        }
+        let pending = self.pending.len();
+        let threshold = (self.live_rows() as f64 * self.config.merge_fraction).ceil() as usize;
+        if pending >= self.config.merge_min_pending.max(threshold.max(1)) {
+            self.start_merge();
+        }
+    }
+
+    fn start_merge(&mut self) {
+        debug_assert!(self.merge.is_none());
+        let frozen = std::mem::take(&mut self.pending);
+        self.merge = Some(MergeState::start(frozen, self.base.len()));
+    }
+
+    /// Ops per budgeted merge step: `merge_delta` of the merged snapshot.
+    fn merge_step_ops(&self) -> usize {
+        let total = self.base.len() + self.merge.as_ref().map_or(0, |m| m.frozen.inserts().len());
+        ((self.config.merge_delta * total as f64).ceil() as usize).max(1)
+    }
+
+    /// Advances an in-flight merge by one budgeted step, swapping in the
+    /// merged snapshot on completion. Returns whether a merge was
+    /// advanced.
+    fn advance_merge(&mut self) -> bool {
+        let ops = self.merge_step_ops();
+        let Some(merge) = &mut self.merge else {
+            return false;
+        };
+        if merge.step(&self.base, ops) {
+            let merge = self.merge.take().expect("merge in flight");
+            let column = Arc::new(Column::from_vec(merge.out));
+            self.inner = (!column.is_empty())
+                .then(|| self.algorithm.build(Arc::clone(&column), self.policy));
+            self.base = column;
+            self.merges_completed += 1;
+        }
+        true
+    }
+
+    /// Performs one budgeted slice of work towards the terminal state:
+    /// an in-flight merge step, else an inner refinement step (the paper's
+    /// empty-query maintenance), else — when the inner index has converged
+    /// with deltas pending — starting and stepping a merge. Returns
+    /// `false` only from the terminal state ([`MutableIndex::is_converged`]).
+    pub fn advance(&mut self) -> bool {
+        if self.merge.is_some() {
+            return self.advance_merge();
+        }
+        if let Some(inner) = &mut self.inner {
+            if !inner.is_converged() {
+                inner.query(1, 0);
+                return true;
+            }
+        }
+        if !self.pending.is_empty() {
+            self.start_merge();
+            return self.advance_merge();
+        }
+        false
+    }
+
+    /// Answers `[low, high]` over the **live** multiset, performing the
+    /// query's budgeted share of indexing work (inner refinement, plus one
+    /// merge step when a merge is in flight).
+    pub fn query(&mut self, low: Value, high: Value) -> QueryResult {
+        let base = match &mut self.inner {
+            Some(inner) => inner.query(low, high),
+            None => QueryResult::answer_only(ScanResult::EMPTY, Phase::Converged),
+        };
+        let mut composed = base.scan_result();
+        if let Some(merge) = &self.merge {
+            composed = merge.frozen.scan(low, high).apply_to(composed);
+        }
+        composed = self.pending.scan(low, high).apply_to(composed);
+        // Queries drive the merge forward too: indexing work — including
+        // delta folding — happens as a query side effect, per the paper's
+        // model.
+        if self.merge.is_some() {
+            self.advance_merge();
+        }
+        QueryResult {
+            sum: composed.sum,
+            count: composed.count,
+            ..base
+        }
+    }
+
+    /// Progress snapshot. The phase and progress come from the inner
+    /// index; `converged` reports the composite state (inner converged
+    /// *and* no pending deltas), so a mutated converged index correctly
+    /// re-enters maintenance.
+    pub fn status(&self) -> IndexStatus {
+        let inner = match &self.inner {
+            Some(inner) => inner.status(),
+            None => IndexStatus::converged(),
+        };
+        IndexStatus {
+            converged: inner.converged && !self.has_pending(),
+            ..inner
+        }
+    }
+
+    /// Materialises the live multiset: base snapshot minus tombstones plus
+    /// pending inserts, in snapshot order followed by insert order. Used
+    /// for re-sharding (boundary re-balancing) at the engine layer.
+    pub fn live_values(&self) -> Vec<Value> {
+        // Tombstones are subtracted from the union of base values and
+        // pending inserts: a pending tombstone's victim can live in the
+        // in-flight merge's frozen inserts (deleted after the merge froze
+        // it), not only in the base snapshot.
+        let mut tombs: HashMap<Value, u64> = HashMap::new();
+        let mut sources: Vec<&[Value]> = vec![self.base.data()];
+        if let Some(merge) = &self.merge {
+            for &t in merge.frozen.tombstones() {
+                *tombs.entry(t).or_insert(0) += 1;
+            }
+            sources.push(merge.frozen.inserts());
+        }
+        for &t in self.pending.tombstones() {
+            *tombs.entry(t).or_insert(0) += 1;
+        }
+        sources.push(self.pending.inserts());
+        let mut out = Vec::with_capacity(self.live_rows());
+        for source in sources {
+            for &v in source {
+                match tombs.get_mut(&v) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => out.push(v),
+                }
+            }
+        }
+        debug_assert!(
+            tombs.values().all(|&n| n == 0),
+            "a tombstone found no live victim"
+        );
+        out
+    }
+
+    /// Exact sum and count over all live rows, without touching the inner
+    /// index (used by the engine to maintain per-shard digests).
+    pub fn live_total(&self) -> ScanResult {
+        let mut sum = self.base.total_sum() as i128;
+        let mut count = self.base.len() as i64;
+        if let Some(merge) = &self.merge {
+            sum += merge.frozen.net_sum();
+            count += merge.frozen.net_rows();
+        }
+        sum += self.pending.net_sum();
+        count += self.pending.net_rows();
+        debug_assert!(sum >= 0 && count >= 0, "live totals went negative");
+        ScanResult {
+            sum: sum.max(0) as u128,
+            count: count.max(0) as u64,
+        }
+    }
+}
+
+impl RangeIndex for MutableIndex {
+    fn query(&mut self, low: Value, high: Value) -> QueryResult {
+        MutableIndex::query(self, low, high)
+    }
+
+    fn status(&self) -> IndexStatus {
+        MutableIndex::status(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "mutable-progressive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+    use pi_storage::scan::scan_range_sum;
+
+    /// Oracle: the live multiset as a plain vector.
+    struct Oracle {
+        live: Vec<Value>,
+    }
+
+    impl Oracle {
+        fn new(data: &[Value]) -> Self {
+            Oracle {
+                live: data.to_vec(),
+            }
+        }
+
+        fn apply(&mut self, m: &Mutation) -> bool {
+            match *m {
+                Mutation::Insert(v) => {
+                    self.live.push(v);
+                    true
+                }
+                Mutation::Delete(v) => {
+                    if let Some(at) = self.live.iter().position(|&x| x == v) {
+                        self.live.remove(at);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Mutation::Update { old, new } => {
+                    if self.apply(&Mutation::Delete(old)) {
+                        self.live.push(new);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+
+        fn query(&self, low: Value, high: Value) -> ScanResult {
+            scan_range_sum(&self.live, low, high)
+        }
+    }
+
+    fn fresh(n: usize, domain: u64, algorithm: Algorithm) -> (MutableIndex, Oracle) {
+        let column = Arc::new(testing::random_column(n, domain, 21));
+        let oracle = Oracle::new(column.data());
+        let index = MutableIndex::with_config(
+            column,
+            algorithm,
+            BudgetPolicy::FixedDelta(0.25),
+            MutableConfig {
+                merge_min_pending: 8,
+                ..MutableConfig::default()
+            },
+        );
+        (index, oracle)
+    }
+
+    #[test]
+    fn mutations_stay_exact_through_all_phases_for_every_algorithm() {
+        for algorithm in Algorithm::ALL {
+            let (mut index, mut oracle) = fresh(4_000, 10_000, algorithm);
+            let mut rng = testing::TestRng::new(7);
+            let mut step = 0u32;
+            loop {
+                // Mutations flow for the first 60 rounds — enough to hit
+                // every phase (each merge restarts the lifecycle, so an
+                // unbounded write stream would defer convergence forever).
+                if step < 60 {
+                    for _ in 0..3 {
+                        let m = match rng.below(3) {
+                            0 => Mutation::Insert(rng.below(10_000)),
+                            1 => Mutation::Delete(rng.below(10_000)),
+                            _ => Mutation::Update {
+                                old: rng.below(10_000),
+                                new: rng.below(10_000),
+                            },
+                        };
+                        assert_eq!(index.apply(&m), oracle.apply(&m), "{algorithm}: {m:?}");
+                    }
+                }
+                let low = rng.below(10_000);
+                let high = low + rng.below(2_000);
+                assert_eq!(
+                    index.query(low, high).scan_result(),
+                    oracle.query(low, high),
+                    "{algorithm} mismatch at step {step} for [{low}, {high}]"
+                );
+                if index.is_converged() {
+                    break;
+                }
+                index.advance();
+                step += 1;
+                assert!(step < 100_000, "{algorithm} failed to converge");
+            }
+            // Converged and delta-free: still exact.
+            assert_eq!(
+                index.query(0, 20_000).scan_result(),
+                oracle.query(0, 20_000)
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_converged_index_re_enters_maintenance() {
+        for algorithm in Algorithm::ALL {
+            let (mut index, mut oracle) = fresh(2_000, 5_000, algorithm);
+            while index.advance() {}
+            assert!(index.is_converged(), "{algorithm}");
+            let m = Mutation::Insert(1_234);
+            assert!(index.apply(&m));
+            oracle.apply(&m);
+            assert!(
+                !index.is_converged(),
+                "{algorithm}: pending delta must unconverge"
+            );
+            assert_eq!(index.query(0, 5_000).scan_result(), oracle.query(0, 5_000));
+            while index.advance() {}
+            assert!(index.is_converged() && !index.has_pending(), "{algorithm}");
+            assert!(
+                index.merges_completed() >= 1,
+                "{algorithm}: merge must have run"
+            );
+            assert_eq!(index.query(0, 5_000).scan_result(), oracle.query(0, 5_000));
+        }
+    }
+
+    #[test]
+    fn delete_of_absent_value_is_rejected() {
+        let (mut index, _) = fresh(100, 50, Algorithm::Quicksort);
+        assert!(!index.apply(&Mutation::Delete(1_000)));
+        assert!(!index.apply(&Mutation::Update { old: 999, new: 1 }));
+        // Insert then delete round-trips through the sidecar without a
+        // tombstone.
+        assert!(index.apply(&Mutation::Insert(1_000)));
+        assert!(index.apply(&Mutation::Delete(1_000)));
+        assert!(!index.apply(&Mutation::Delete(1_000)));
+    }
+
+    #[test]
+    fn empty_column_grows_from_inserts() {
+        let column = Arc::new(Column::from_vec(vec![]));
+        let mut index =
+            MutableIndex::new(column, Algorithm::Bucketsort, BudgetPolicy::FixedDelta(0.5));
+        assert!(index.is_converged());
+        for v in [5u64, 2, 9, 2] {
+            assert!(index.apply(&Mutation::Insert(v)));
+        }
+        assert_eq!(index.live_rows(), 4);
+        let r = index.query(2, 9);
+        assert_eq!((r.sum, r.count), (18, 4));
+        while index.advance() {}
+        assert!(index.is_converged());
+        let r = index.query(2, 5);
+        assert_eq!((r.sum, r.count), (9, 3));
+    }
+
+    #[test]
+    fn merge_is_incremental_and_exact_mid_flight() {
+        let (mut index, mut oracle) = fresh(5_000, 8_000, Algorithm::Quicksort);
+        // Converge first so the merge is the only work left.
+        while index.advance() {}
+        for i in 0..600u64 {
+            let m = Mutation::Insert(i * 13 % 8_000);
+            index.apply(&m);
+            oracle.apply(&m);
+        }
+        // A merge has started (600 > max(8, 0.1 * live)); answers stay
+        // exact across every incremental merge step until terminal.
+        let mut steps = 0;
+        while !index.is_converged() {
+            assert_eq!(
+                index.query(100, 4_000).scan_result(),
+                oracle.query(100, 4_000),
+                "mismatch mid-merge at step {steps}"
+            );
+            index.advance();
+            steps += 1;
+            assert!(steps < 100_000);
+        }
+        assert!(index.merges_completed() >= 1);
+        assert_eq!(index.live_rows(), oracle.live.len());
+    }
+
+    #[test]
+    fn live_values_and_totals_match_oracle() {
+        let (mut index, mut oracle) = fresh(1_000, 2_000, Algorithm::RadixsortMsd);
+        let mut rng = testing::TestRng::new(3);
+        for _ in 0..200 {
+            let m = match rng.below(2) {
+                0 => Mutation::Insert(rng.below(2_000)),
+                _ => Mutation::Delete(rng.below(2_000)),
+            };
+            assert_eq!(index.apply(&m), oracle.apply(&m));
+        }
+        let mut live = index.live_values();
+        let mut expected = oracle.live.clone();
+        live.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(live, expected);
+        assert_eq!(index.live_total(), oracle.query(0, Value::MAX));
+        assert_eq!(index.live_rows(), oracle.live.len());
+    }
+}

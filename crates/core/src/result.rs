@@ -46,8 +46,8 @@ impl std::fmt::Display for Phase {
     }
 }
 
-/// Result of a single range query executed against a [`RangeIndex`]
-/// (see [`crate::index::RangeIndex`]), together with per-query
+/// Result of a single range query executed against a
+/// [`RangeIndex`](crate::index::RangeIndex), together with per-query
 /// instrumentation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryResult {

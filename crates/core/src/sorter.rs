@@ -9,7 +9,7 @@
 //! we keep track of the pivot points and how far along the pivoting
 //! process we are."
 //!
-//! The sorter owns no data; it holds a tree of [`SortNode`]s describing a
+//! The sorter owns no data; it holds a tree of sort nodes describing a
 //! region `[start, end)` of an external array and exposes:
 //!
 //! * [`IncrementalSorter::refine`] — perform up to a budgeted number of

@@ -37,10 +37,11 @@
 //! state is guarded by per-shard mutexes, so two clients only contend when
 //! their queries genuinely touch the same shard.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pi_core::budget::StepBudget;
+use pi_core::mutation::Mutation;
 use pi_sched::{plan_affinity, BatchExecutor, Job, Pool, PoolConfig, PoolStats};
 use pi_storage::scan::ScanResult;
 use pi_storage::Value;
@@ -144,47 +145,92 @@ struct MaintenanceState {
     addresses: Vec<(usize, usize)>,
     /// Round-robin cursor over `addresses`.
     cursor: AtomicUsize,
-    /// Per-address converged cache. Convergence is monotone (a converged
-    /// index never regresses), so once set a sweep skips the shard without
-    /// touching its mutex — in the steady state maintenance stops
-    /// contending with serving threads entirely.
+    /// Per-address converged cache. Convergence is monotone *between
+    /// mutations* (a converged index only regresses when written), so once
+    /// set a sweep skips the shard without touching its mutex — in the
+    /// steady state maintenance stops contending with serving threads
+    /// entirely. A mutation marks its shard dirty at the table layer
+    /// ([`crate::table::ShardedColumn::take_shard_dirty`]); the cache
+    /// consumes that flag and re-examines the shard, so a mutated
+    /// converged shard re-enters maintenance no matter which path the
+    /// write took.
     converged: Vec<AtomicBool>,
-    /// Set once a full sweep found every shard converged; lets the
-    /// executor stop spawning per-batch maintenance jobs (and waking pool
-    /// workers) altogether.
-    all_converged: AtomicBool,
+    /// Terminal-state latch, stamped with `table epoch + 1` when a full
+    /// sweep found every shard converged; lets the executor stop spawning
+    /// per-batch maintenance jobs (and waking pool workers) altogether.
+    /// Any later mutation — or dirty-shard reopening in
+    /// [`MaintenanceState::advance_at`] — bumps the epoch and thereby
+    /// invalidates the stamp race-free (`0` = never latched).
+    all_converged_at: AtomicU64,
+    /// Shards reopened after a mutation (cache cleared because the dirty
+    /// flag was set). Part of the table epoch: consuming a dirty flag
+    /// must invalidate any latch stamped concurrently, otherwise a sweep
+    /// that read the flag *between* the consume and the shard's actual
+    /// re-examination could latch the terminal state over an unfinished
+    /// delta merge.
+    reopened: AtomicU64,
 }
 
 impl MaintenanceState {
+    /// Sum of the per-column mutation epochs plus the reopen counter: a
+    /// table-wide monotone invalidation-event counter.
+    fn table_epoch(&self) -> u64 {
+        self.table
+            .columns()
+            .iter()
+            .map(|c| c.mutation_epoch())
+            .sum::<u64>()
+            + self.reopened.load(Ordering::SeqCst)
+    }
+
     /// Tries up to `steps` budgeted steps on the shard at flat address
     /// `at` (one lock acquisition), going through the converged cache.
     /// Returns the steps performed; records newly observed convergence.
     fn advance_at(&self, at: usize, steps: usize) -> usize {
-        if self.converged[at].load(Ordering::Relaxed) {
-            return 0;
-        }
         let (c, s) = self.addresses[at];
-        let performed = self.table.columns()[c].advance_shard_by(s, steps);
+        let column = &self.table.columns()[c];
+        if self.converged[at].load(Ordering::SeqCst) {
+            // Trust the cache only while the shard is clean; a mutation
+            // since the last check means the shard may have pending deltas
+            // to merge, so it re-enters maintenance. Ordering matters:
+            // clear the cache, bump the epoch, *then* consume the dirty
+            // flag — a concurrent `note_exhausted_sweep` either still sees
+            // the dirty flag (no latch), or read its epoch before our bump
+            // (stamp invalid), or reads our cleared cache entry (no
+            // latch). No interleaving can latch over the reopening.
+            if !column.shard_is_dirty(s) {
+                return 0;
+            }
+            self.converged[at].store(false, Ordering::SeqCst);
+            self.reopened.fetch_add(1, Ordering::SeqCst);
+            column.take_shard_dirty(s);
+        }
+        let performed = column.advance_shard_by(s, steps);
         if performed < steps {
-            self.converged[at].store(true, Ordering::Relaxed);
+            self.converged[at].store(true, Ordering::SeqCst);
         }
         performed
     }
 
-    /// `true` once every shard's convergence has been observed by a sweep.
+    /// `true` while the terminal latch is valid: every shard was observed
+    /// converged and no mutation has been applied since.
     fn is_all_converged(&self) -> bool {
-        self.all_converged.load(Ordering::Relaxed)
+        let latched = self.all_converged_at.load(Ordering::SeqCst);
+        latched != 0 && latched == self.table_epoch() + 1
     }
 
     /// Called when a full sweep performed no work: if the converged cache
-    /// now covers every shard, latch the terminal state.
+    /// now covers every shard — and no shard carries an unexamined
+    /// mutation — latch the terminal state, stamped with the epoch
+    /// observed *before* the checks (so a concurrent mutation invalidates
+    /// the stamp rather than racing it).
     fn note_exhausted_sweep(&self) {
-        if self
-            .converged
-            .iter()
-            .all(|flag| flag.load(Ordering::Relaxed))
-        {
-            self.all_converged.store(true, Ordering::Relaxed);
+        let epoch = self.table_epoch();
+        let all_clean = self.addresses.iter().enumerate().all(|(at, &(c, s))| {
+            self.converged[at].load(Ordering::SeqCst) && !self.table.columns()[c].shard_is_dirty(s)
+        });
+        if all_clean {
+            self.all_converged_at.store(epoch + 1, Ordering::SeqCst);
         }
     }
 
@@ -296,7 +342,8 @@ impl Executor {
             addresses,
             cursor: AtomicUsize::new(0),
             converged,
-            all_converged: AtomicBool::new(false),
+            all_converged_at: AtomicU64::new(0),
+            reopened: AtomicU64::new(0),
         });
         let idle_task = config.background_maintenance.then(|| {
             let maintenance = Arc::clone(&maintenance);
@@ -530,6 +577,187 @@ impl Executor {
         Ok(self
             .execute_batch(std::slice::from_ref(&TableQuery::new(column, low, high)))?
             .remove(0))
+    }
+
+    /// Applies a batch of mutations to `column`, shard-parallel on the
+    /// same persistent pool that serves query batches. Returns the
+    /// per-mutation applied flags in request order (inserts always apply;
+    /// deletes and updates only when a live victim exists).
+    ///
+    /// **Isolation.** Writers take the same per-shard mutexes as readers,
+    /// so a writer only ever blocks traffic on the one shard it touches,
+    /// and the shard's digest is updated atomically with the shard state.
+    /// **Ordering.** Mutations are applied in request order *per shard*.
+    /// An update whose `old` and `new` values route to different shards is
+    /// decomposed into a delete and a dependent insert; the insert is
+    /// sequenced after every same-batch single-shard mutation (it runs in
+    /// a second wave), and is only attempted when the delete applied.
+    /// **Convergence.** Every mutated shard re-enters maintenance — the
+    /// executor's converged-shard cache and terminal latch are invalidated
+    /// through the table's dirty flags and mutation epoch — so
+    /// [`Executor::drive_to_convergence`], the per-batch maintenance floor
+    /// and idle cycles fold the new deltas in and re-converge the table.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pi_core::mutation::Mutation;
+    /// use pi_engine::{ColumnSpec, Executor, Table};
+    ///
+    /// let values: Vec<u64> = (0..10_000).map(|i| (i * 37) % 10_000).collect();
+    /// let table = Arc::new(
+    ///     Table::builder()
+    ///         .column(ColumnSpec::new("a", values).with_shards(4))
+    ///         .build(),
+    /// );
+    /// let executor = Executor::new(Arc::clone(&table));
+    /// executor.drive_to_convergence(usize::MAX);
+    ///
+    /// // Mutating a converged table un-converges the touched shards...
+    /// let applied = executor
+    ///     .apply_mutations("a", &[Mutation::Insert(5), Mutation::Delete(7)])
+    ///     .unwrap();
+    /// assert_eq!(applied, vec![true, true]);
+    /// assert!(!table.is_converged());
+    ///
+    /// // ...answers stay exact immediately, and maintenance re-converges.
+    /// assert_eq!(executor.execute_one("a", 5, 5).unwrap().count, 2);
+    /// executor.drive_to_convergence(usize::MAX);
+    /// assert!(table.is_converged());
+    /// ```
+    pub fn apply_mutations(
+        &self,
+        column: &str,
+        mutations: &[Mutation],
+    ) -> Result<Vec<bool>, EngineError> {
+        let column_idx = self
+            .table
+            .column_index(column)
+            .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))?;
+        let sharded = &self.table.columns()[column_idx];
+
+        // Wave 1: everything that is local to a single shard, in request
+        // order per shard. A cross-shard update contributes its delete
+        // here and parks its insert for wave 2.
+        let shard_count = sharded.shard_count();
+        let mut wave1: Vec<Vec<(usize, Mutation)>> = vec![Vec::new(); shard_count];
+        /// Where a batch entry's applied flag comes from.
+        enum Origin {
+            /// Wave-1 op at this position of its shard's run.
+            Direct,
+            /// Cross-shard update: flag of the wave-1 delete gates a
+            /// wave-2 insert of this value.
+            SplitUpdate(Value),
+        }
+        let mut origins = Vec::with_capacity(mutations.len());
+        for (i, m) in mutations.iter().enumerate() {
+            match *m {
+                Mutation::Insert(v) | Mutation::Delete(v) => {
+                    wave1[sharded.shard_of(v)].push((i, *m));
+                    origins.push(Origin::Direct);
+                }
+                Mutation::Update { old, new } => {
+                    let (from, to) = (sharded.shard_of(old), sharded.shard_of(new));
+                    if from == to {
+                        wave1[from].push((i, *m));
+                        origins.push(Origin::Direct);
+                    } else {
+                        wave1[from].push((i, Mutation::Delete(old)));
+                        origins.push(Origin::SplitUpdate(new));
+                    }
+                }
+            }
+        }
+
+        let mut applied = vec![false; mutations.len()];
+        for (batch_idx, ok) in self.run_mutation_waves(column_idx, wave1) {
+            applied[batch_idx] = ok;
+        }
+
+        // Wave 2: the inserts of cross-shard updates whose delete landed.
+        let mut wave2: Vec<Vec<(usize, Mutation)>> = vec![Vec::new(); shard_count];
+        let mut any = false;
+        for (i, origin) in origins.iter().enumerate() {
+            if let Origin::SplitUpdate(new) = *origin {
+                if applied[i] {
+                    wave2[sharded.shard_of(new)].push((i, Mutation::Insert(new)));
+                    any = true;
+                }
+            }
+        }
+        if any {
+            for (batch_idx, ok) in self.run_mutation_waves(column_idx, wave2) {
+                applied[batch_idx] = ok;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Dispatches one wave of per-shard mutation runs onto the pool
+    /// (inline for trivial waves, like the query path) and returns the
+    /// `(batch index, applied)` pairs.
+    fn run_mutation_waves(
+        &self,
+        column_idx: usize,
+        per_shard: Vec<Vec<(usize, Mutation)>>,
+    ) -> Vec<(usize, bool)> {
+        let tasks: Vec<(usize, Vec<(usize, Mutation)>)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ops)| !ops.is_empty())
+            .collect();
+        let expected: usize = tasks.iter().map(|(_, ops)| ops.len()).sum();
+        let apply_one = |shard: usize, ops: &[(usize, Mutation)]| -> Vec<(usize, bool)> {
+            let muts: Vec<Mutation> = ops.iter().map(|&(_, m)| m).collect();
+            let flags = self.table.columns()[column_idx].apply_shard_ops(shard, &muts);
+            ops.iter().map(|&(i, _)| i).zip(flags).collect()
+        };
+        if tasks.len() <= 1 || self.pool.workers() == 1 {
+            let mut out = Vec::with_capacity(expected);
+            for (shard, ops) in &tasks {
+                out.extend(apply_one(*shard, ops));
+            }
+            return out;
+        }
+        struct WaveState {
+            table: Arc<Table>,
+            column: usize,
+            tasks: Vec<(usize, Vec<(usize, Mutation)>)>,
+            flags: Mutex<Vec<(usize, bool)>>,
+        }
+        let affinities: Vec<usize> = tasks
+            .iter()
+            .map(|&(shard, _)| self.affinity[self.flat_id(column_idx, shard)])
+            .collect();
+        let state = Arc::new(WaveState {
+            table: Arc::clone(&self.table),
+            column: column_idx,
+            tasks,
+            flags: Mutex::new(Vec::with_capacity(expected)),
+        });
+        let jobs: Vec<(usize, Job)> = affinities
+            .into_iter()
+            .enumerate()
+            .map(|(t, affinity)| {
+                let state = Arc::clone(&state);
+                let job: Job = Box::new(move || {
+                    let (shard, ops) = &state.tasks[t];
+                    let muts: Vec<Mutation> = ops.iter().map(|&(_, m)| m).collect();
+                    let applied =
+                        state.table.columns()[state.column].apply_shard_ops(*shard, &muts);
+                    let mut local: Vec<(usize, bool)> =
+                        ops.iter().map(|&(i, _)| i).zip(applied).collect();
+                    state
+                        .flags
+                        .lock()
+                        .expect("wave flags poisoned")
+                        .append(&mut local);
+                });
+                (affinity, job)
+            })
+            .collect();
+        self.pool.run(jobs);
+        let flags = std::mem::take(&mut *state.flags.lock().expect("wave flags poisoned"));
+        flags
     }
 
     /// Spends up to `steps` budgeted indexing steps, round-robin over all

@@ -25,6 +25,18 @@
 //!   so the whole table converges under any workload pattern — even one
 //!   that never queries a cold shard's range — the engine-level analogue
 //!   of the paper's per-query robustness guarantee.
+//! * **Mutations** — tables are not append-only: [`Table::apply_mutations`]
+//!   (serial) and [`Executor::apply_mutations`] (shard-parallel, on the
+//!   same pool) take batches of [`pi_core::mutation::Mutation`] inserts,
+//!   deletes and updates. Every shard is a
+//!   [`pi_core::mutation::MutableIndex`]: answers stay exact at any
+//!   refinement stage via a pending-delta sidecar, per-shard digests are
+//!   updated atomically with the shard (the O(1) covered-shard shortcut
+//!   stays exact under writes), and a mutated converged shard re-enters
+//!   maintenance until its deltas are merged back in — convergence is
+//!   re-established after every write burst. When skewed writes drift the
+//!   shard weights, [`Table::rebalance_if_drifted`] re-draws the
+//!   equi-depth boundaries from the live values.
 //!
 //! The executor implements [`pi_sched::BatchExecutor`], so a
 //! [`pi_sched::Server`] can front it with a bounded admission queue,

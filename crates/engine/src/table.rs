@@ -17,12 +17,13 @@
 //! explicitly.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use pi_core::budget::BudgetPolicy;
 use pi_core::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
+use pi_core::mutation::{MutableIndex, Mutation};
 use pi_core::result::{IndexStatus, Phase};
-use pi_core::RangeIndex;
 use pi_storage::scan::ScanResult;
 use pi_storage::shard::RangePartition;
 use pi_storage::{Column, Value};
@@ -93,93 +94,142 @@ impl ColumnSpec {
     }
 }
 
-/// One shard: a progressive index over the rows whose values fall into the
-/// shard's value range. Empty shards carry no index and are born
-/// converged.
+/// One shard: a mutable progressive index ([`MutableIndex`]) over the rows
+/// whose values fall into the shard's value range. Shards born empty start
+/// converged; inserts can revive them (the mutable index grows a snapshot
+/// from its pending-delta sidecar on the first merge).
 pub struct Shard {
-    rows: usize,
-    index: Option<Box<dyn RangeIndex + Send>>,
+    index: MutableIndex,
 }
 
 impl Shard {
     fn new(column: Column, algorithm: Algorithm, policy: BudgetPolicy) -> Self {
-        let rows = column.len();
-        let index = if rows == 0 {
-            None
-        } else {
-            Some(algorithm.build(Arc::new(column), policy))
-        };
-        Shard { rows, index }
-    }
-
-    /// Number of rows this shard owns.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Answers `[low, high]` against this shard, performing the shard's
-    /// per-query indexing work as a side effect.
-    pub fn query(&mut self, low: Value, high: Value) -> ScanResult {
-        match &mut self.index {
-            Some(index) => index.query(low, high).scan_result(),
-            None => ScanResult::EMPTY,
+        Shard {
+            index: MutableIndex::new(Arc::new(column), algorithm, policy),
         }
+    }
+
+    /// Number of live rows this shard owns (base snapshot net of pending
+    /// mutations).
+    pub fn rows(&self) -> usize {
+        self.index.live_rows()
+    }
+
+    /// Answers `[low, high]` against this shard's live rows, performing
+    /// the shard's per-query indexing work as a side effect.
+    pub fn query(&mut self, low: Value, high: Value) -> ScanResult {
+        self.index.query(low, high).scan_result()
+    }
+
+    /// Applies one mutation to this shard. Returns whether it took effect
+    /// (deletes and updates are rejected when no live victim exists).
+    pub fn apply(&mut self, mutation: &Mutation) -> bool {
+        self.index.apply(mutation)
     }
 
     /// Performs one budgeted slice of indexing work without answering a
-    /// query (an empty-range query: the paper's model performs indexing
-    /// only as a query side effect, so maintenance is an empty query).
-    /// Returns `true` when work was performed, `false` when the shard is
-    /// already converged.
+    /// query: inner refinement, or a step of the pending-delta merge (the
+    /// paper's model performs indexing only as a query side effect, so
+    /// maintenance is an empty query). Returns `true` when work was
+    /// performed, `false` when the shard is converged **and** delta-free.
     pub fn advance(&mut self) -> bool {
-        match &mut self.index {
-            Some(index) if !index.is_converged() => {
-                index.query(1, 0);
-                true
-            }
-            _ => false,
-        }
+        self.index.advance()
     }
 
-    /// The shard's index status (empty shards report converged).
+    /// The shard's index status. A converged shard that was mutated
+    /// afterwards reports `converged: false` until its deltas are merged —
+    /// this is what makes a mutated converged shard re-enter maintenance.
     pub fn status(&self) -> IndexStatus {
-        match &self.index {
-            Some(index) => index.status(),
-            None => IndexStatus::converged(),
-        }
+        self.index.status()
+    }
+
+    /// The live values of this shard (used for boundary re-balancing).
+    pub fn live_values(&self) -> Vec<Value> {
+        self.index.live_values()
     }
 }
 
-/// Immutable per-shard summary, captured when the column is split: the
-/// shard's actual value bounds and its full-shard aggregate. Query answers
-/// are always exact over the base rows regardless of indexing progress, so
-/// a predicate that covers `[min, max]` entirely can be answered from
-/// `total` in O(1) — no shard lock, no index probe (aggregate pushdown;
-/// wide queries only pay real probes on their two boundary shards).
+/// Per-shard summary maintained under mutations: the shard's value bounds
+/// and its full-shard live aggregate. Query answers are always exact over
+/// the live rows regardless of indexing progress, so a predicate that
+/// covers `[min, max]` entirely can be answered from `total` in O(1) — no
+/// shard lock, no index probe (aggregate pushdown; wide queries only pay
+/// real probes on their two boundary shards). Mutations update the totals
+/// exactly and only ever *widen* `[min, max]` (a delete may leave the
+/// bounds stale-wide, which costs shortcut opportunities but never
+/// correctness).
 #[derive(Debug, Clone, Copy)]
 struct ShardDigest {
-    /// Smallest / largest value the shard holds (meaningless when empty).
+    /// Smallest / largest value the shard can hold (conservative under
+    /// deletes; meaningless while the shard is empty).
     min: Value,
     max: Value,
-    /// `SUM`/`COUNT` over every row of the shard.
+    /// Exact `SUM`/`COUNT` over every live row of the shard.
     total: ScanResult,
-    empty: bool,
 }
 
-/// A named, range-sharded, progressively indexed column.
+impl ShardDigest {
+    /// Folds one *applied* mutation into the digest.
+    fn apply(&mut self, mutation: &Mutation) {
+        match *mutation {
+            Mutation::Insert(v) => {
+                self.total.sum += v as u128;
+                self.total.count += 1;
+                self.widen(v);
+            }
+            Mutation::Delete(v) => {
+                self.total = self.total.subtract(ScanResult {
+                    sum: v as u128,
+                    count: 1,
+                });
+            }
+            Mutation::Update { old, new } => {
+                self.total = self.total.subtract(ScanResult {
+                    sum: old as u128,
+                    count: 1,
+                });
+                self.total.sum += new as u128;
+                self.total.count += 1;
+                self.widen(new);
+            }
+        }
+    }
+
+    fn widen(&mut self, v: Value) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// A named, range-sharded, progressively indexed, **mutable** column.
+///
+/// Reads and writes are isolated per shard: every shard sits behind its
+/// own mutex, so a writer only ever blocks the readers (and writers) of
+/// the one shard it touches. The shard digests powering the O(1)
+/// covered-shard shortcut live behind per-shard `RwLock`s and are updated
+/// exactly on every applied mutation.
 pub struct ShardedColumn {
     name: String,
     rows: usize,
     domain: (Value, Value),
     algorithm: Algorithm,
+    policy: BudgetPolicy,
     distribution: DataDistribution,
     partition: RangePartition,
-    /// Rows per shard, immutable after construction — the task-granularity
-    /// weights the scheduler pins shards to workers by (no shard lock
-    /// needed to read them).
+    /// Rows per shard **at construction / last re-balance** — the
+    /// task-granularity weights the scheduler pins shards to workers by
+    /// (no shard lock needed to read them). Live counts drift under
+    /// mutations; see [`ShardedColumn::shard_live_rows`].
     shard_rows: Vec<usize>,
-    digests: Vec<ShardDigest>,
+    digests: Vec<RwLock<ShardDigest>>,
     shards: Vec<Mutex<Shard>>,
+    /// Per-shard "mutated since last converged-cache check" flags; lets a
+    /// maintenance layer with a monotone converged cache (the executor)
+    /// notice that a converged shard re-entered maintenance.
+    shard_dirty: Vec<AtomicBool>,
+    /// Bumped once per applied mutation batch; convergence latches compare
+    /// against it so a mutation invalidates them race-free.
+    mutation_epoch: AtomicU64,
     stats: WorkloadStats,
 }
 
@@ -196,37 +246,61 @@ impl ShardedColumn {
             }),
         };
         let column = Column::from_vec(spec.values);
+        let partition = RangePartition::equi_depth(column.data(), spec.shards);
+        Self::build(
+            spec.name,
+            column,
+            partition,
+            algorithm,
+            spec.policy,
+            distribution,
+        )
+    }
+
+    /// Shared constructor for the initial build and re-balances.
+    fn build(
+        name: String,
+        column: Column,
+        partition: RangePartition,
+        algorithm: Algorithm,
+        policy: BudgetPolicy,
+        distribution: DataDistribution,
+    ) -> Self {
         let rows = column.len();
         let domain = column.domain().unwrap_or((0, 0));
-        let partition = RangePartition::equi_depth(column.data(), spec.shards);
         let sub_columns = partition.split_column(&column);
         let shard_rows: Vec<usize> = sub_columns.iter().map(Column::len).collect();
         let digests = sub_columns
             .iter()
-            .map(|sub| ShardDigest {
-                min: sub.min(),
-                max: sub.max(),
-                total: ScanResult {
-                    sum: sub.data().iter().map(|&v| v as u128).sum(),
-                    count: sub.len() as u64,
-                },
-                empty: sub.is_empty(),
+            .map(|sub| {
+                RwLock::new(ShardDigest {
+                    min: sub.min(),
+                    max: sub.max(),
+                    total: ScanResult {
+                        sum: sub.data().iter().map(|&v| v as u128).sum(),
+                        count: sub.len() as u64,
+                    },
+                })
             })
             .collect();
+        let shard_dirty = sub_columns.iter().map(|_| AtomicBool::new(false)).collect();
         let shards = sub_columns
             .into_iter()
-            .map(|sub| Mutex::new(Shard::new(sub, algorithm, spec.policy)))
+            .map(|sub| Mutex::new(Shard::new(sub, algorithm, policy)))
             .collect();
         ShardedColumn {
-            name: spec.name,
+            name,
             rows,
             domain,
             algorithm,
+            policy,
             distribution,
             partition,
             shard_rows,
             digests,
             shards,
+            shard_dirty,
+            mutation_epoch: AtomicU64::new(0),
             stats: WorkloadStats::new(),
         }
     }
@@ -236,9 +310,19 @@ impl ShardedColumn {
         &self.name
     }
 
-    /// Number of rows.
+    /// Number of rows at construction (or the last re-balance). Mutations
+    /// move the live count; see [`ShardedColumn::live_rows`].
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Current number of live rows, summed from the per-shard digests
+    /// (no shard locks taken).
+    pub fn live_rows(&self) -> usize {
+        self.digests
+            .iter()
+            .map(|d| d.read().expect("digest lock poisoned").total.count as usize)
+            .sum()
     }
 
     /// The `[min, max]` value domain of the column (`(0, 0)` when empty).
@@ -261,11 +345,27 @@ impl ShardedColumn {
         &self.partition
     }
 
-    /// Rows owned by each shard (immutable after construction). The
-    /// scheduler weights shard tasks by these counts when pinning shards
-    /// to pool workers.
+    /// Rows owned by each shard at construction (or the last re-balance).
+    /// The scheduler weights shard tasks by these counts when pinning
+    /// shards to pool workers; live counts drift under mutations
+    /// ([`ShardedColumn::shard_live_rows`]).
     pub fn shard_rows(&self) -> &[usize] {
         &self.shard_rows
+    }
+
+    /// Current live rows per shard, from the digests (no shard locks).
+    pub fn shard_live_rows(&self) -> Vec<usize> {
+        self.digests
+            .iter()
+            .map(|d| d.read().expect("digest lock poisoned").total.count as usize)
+            .collect()
+    }
+
+    /// Live-row weight drift across shards: `1.0` is perfectly balanced;
+    /// values past an operational threshold (≈ `2.0`) call for
+    /// [`Table::rebalance_if_drifted`].
+    pub fn weight_drift(&self) -> f64 {
+        RangePartition::weight_drift(&self.shard_live_rows())
     }
 
     /// The column's observed workload statistics.
@@ -303,17 +403,18 @@ impl ShardedColumn {
     }
 
     /// O(1) answer for shard `shard` when the predicate covers every value
-    /// the shard holds (or the shard is empty): the precomputed full-shard
-    /// aggregate, taken without locking. `None` means the shard must be
-    /// probed through [`ShardedColumn::query_shard`]. Exactness does not
-    /// depend on indexing progress — answers are always over the base
-    /// rows — but the skipped shard performs no per-query indexing work,
-    /// so callers must converge it some other way (the executor's
-    /// maintenance floor and idle cycles do; the serial
+    /// the shard can hold (or the shard is empty): the maintained
+    /// full-shard live aggregate, read under a brief digest lock — no
+    /// shard mutex, no index probe. `None` means the shard must be probed
+    /// through [`ShardedColumn::query_shard`]. Exactness does not depend
+    /// on indexing progress — mutations update the digest atomically with
+    /// the shard they apply to — but the skipped shard performs no
+    /// per-query indexing work, so callers must converge it some other way
+    /// (the executor's maintenance floor and idle cycles do; the serial
     /// [`ShardedColumn::query`] therefore does not use this shortcut).
     pub fn covered_total(&self, shard: usize, low: Value, high: Value) -> Option<ScanResult> {
-        let digest = &self.digests[shard];
-        if digest.empty {
+        let digest = self.digests[shard].read().expect("digest lock poisoned");
+        if digest.total.count == 0 {
             Some(ScanResult::EMPTY)
         } else if low <= digest.min && digest.max <= high {
             Some(digest.total)
@@ -363,6 +464,123 @@ impl ShardedColumn {
         performed
     }
 
+    /// The shard a single-value mutation (insert, delete) routes to.
+    pub fn shard_of(&self, v: Value) -> usize {
+        self.partition.shard_of(v)
+    }
+
+    /// Applies a run of mutations to one shard, in order, under a single
+    /// shard-lock acquisition. Returns the per-mutation applied flags (in
+    /// the run's order). The shard's digest is updated exactly for every
+    /// applied mutation before the shard lock is released, and the shard
+    /// is marked dirty so converged-shard caches re-examine it.
+    ///
+    /// Callers are responsible for routing: every mutation in `ops` must
+    /// belong to `shard` under the column's partition (for an update, both
+    /// `old` and `new`; cross-shard updates must be decomposed into a
+    /// delete and a dependent insert by the caller — the executor does).
+    pub fn apply_shard_ops(&self, shard: usize, ops: &[Mutation]) -> Vec<bool> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let mut guard = self.shards[shard].lock().expect("shard lock poisoned");
+        let mut applied = Vec::with_capacity(ops.len());
+        let mut digest_delta: Vec<&Mutation> = Vec::new();
+        for op in ops {
+            let ok = guard.apply(op);
+            if ok {
+                digest_delta.push(op);
+            }
+            applied.push(ok);
+        }
+        if !digest_delta.is_empty() {
+            {
+                let mut digest = self.digests[shard].write().expect("digest lock poisoned");
+                for op in digest_delta {
+                    digest.apply(op);
+                }
+            }
+            self.shard_dirty[shard].store(true, Ordering::SeqCst);
+            self.mutation_epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        drop(guard);
+        applied
+    }
+
+    /// Applies a batch of mutations in request order, serially. Returns
+    /// the per-mutation applied flags. Cross-shard updates are atomic:
+    /// the delete is attempted first and the insert of the new value only
+    /// happens when it succeeded.
+    ///
+    /// This is the serial writer path, mirroring [`ShardedColumn::query`];
+    /// the executor offers the shard-parallel, pool-dispatched analogue.
+    pub fn apply_mutations(&self, mutations: &[Mutation]) -> Vec<bool> {
+        mutations
+            .iter()
+            .map(|m| match *m {
+                Mutation::Insert(v) | Mutation::Delete(v) => {
+                    self.apply_shard_ops(self.shard_of(v), std::slice::from_ref(m))[0]
+                }
+                Mutation::Update { old, new } => {
+                    let (from, to) = (self.shard_of(old), self.shard_of(new));
+                    if from == to {
+                        self.apply_shard_ops(from, std::slice::from_ref(m))[0]
+                    } else if self.apply_shard_ops(from, &[Mutation::Delete(old)])[0] {
+                        self.apply_shard_ops(to, &[Mutation::Insert(new)])[0]
+                    } else {
+                        false
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Consumes shard `shard`'s dirty flag: `true` when a mutation was
+    /// applied since the last call. Converged-shard caches call this
+    /// before trusting a cached "converged" verdict.
+    pub fn take_shard_dirty(&self, shard: usize) -> bool {
+        self.shard_dirty[shard].swap(false, Ordering::SeqCst)
+    }
+
+    /// Reads shard `shard`'s dirty flag without consuming it (used by
+    /// terminal-state latches to refuse latching over an unexamined
+    /// mutation).
+    pub fn shard_is_dirty(&self, shard: usize) -> bool {
+        self.shard_dirty[shard].load(Ordering::SeqCst)
+    }
+
+    /// Monotone counter bumped on every applied mutation run. Convergence
+    /// latches snapshot it so any later mutation invalidates them.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Re-draws equi-depth shard boundaries from the current live values
+    /// and re-splits the column into the same number of shards, resetting
+    /// every shard's index to the creation phase over its new slice.
+    ///
+    /// This is a stop-the-world operation (`&mut self`): it is meant for
+    /// maintenance windows, before an executor is attached — the
+    /// executor's shard addressing is computed at construction. The
+    /// queries it serves stay exact throughout (answers never depend on
+    /// indexing progress); only indexing progress is sacrificed.
+    pub fn rebalance(&mut self) {
+        let mut live: Vec<Value> = Vec::new();
+        for shard in &self.shards {
+            live.extend(shard.lock().expect("shard lock poisoned").live_values());
+        }
+        let shards = self.partition.shard_count();
+        let partition = RangePartition::equi_depth(&live, shards);
+        *self = Self::build(
+            std::mem::take(&mut self.name),
+            Column::from_vec(live),
+            partition,
+            self.algorithm,
+            self.policy,
+            self.distribution,
+        );
+    }
+
     /// Per-shard status snapshots.
     pub fn shard_statuses(&self) -> Vec<IndexStatus> {
         self.shards
@@ -391,7 +609,20 @@ impl ShardedColumn {
             weight += rows;
         }
         if weight == 0.0 {
-            return IndexStatus::converged();
+            // Zero live rows is not the same as converged: a column whose
+            // every row was just deleted still holds unmerged tombstone
+            // sidecars (each shard reports `converged: false` until its
+            // deltas are folded in).
+            return if converged {
+                IndexStatus::converged()
+            } else {
+                IndexStatus {
+                    phase,
+                    fraction_indexed: 0.0,
+                    phase_progress: 0.0,
+                    converged: false,
+                }
+            };
         }
         IndexStatus {
             phase,
@@ -479,6 +710,44 @@ impl Table {
     /// served serially. Returns `None` for an unknown column.
     pub fn query(&self, column: &str, low: Value, high: Value) -> Option<ScanResult> {
         Some(self.column(column)?.query(low, high))
+    }
+
+    /// Applies a batch of mutations to `column` in request order, serially
+    /// (the writer analogue of [`Table::query`]; the executor offers the
+    /// shard-parallel path). Returns the per-mutation applied flags, or
+    /// `None` for an unknown column.
+    ///
+    /// ```
+    /// use pi_core::mutation::Mutation;
+    /// use pi_engine::{ColumnSpec, Table};
+    ///
+    /// let table = Table::builder()
+    ///     .column(ColumnSpec::new("a", vec![1, 2, 3]))
+    ///     .build();
+    /// let applied = table
+    ///     .apply_mutations("a", &[Mutation::Insert(10), Mutation::Delete(99)])
+    ///     .unwrap();
+    /// assert_eq!(applied, vec![true, false]); // no live 99 to delete
+    /// assert_eq!(table.query("a", 0, 100).unwrap().count, 4);
+    /// ```
+    pub fn apply_mutations(&self, column: &str, mutations: &[Mutation]) -> Option<Vec<bool>> {
+        Some(self.column(column)?.apply_mutations(mutations))
+    }
+
+    /// Re-balances every column whose live-row weight drift exceeds
+    /// `threshold` (see [`ShardedColumn::weight_drift`]; `2.0` is a
+    /// reasonable operational setting). Returns how many columns were
+    /// re-balanced. Stop-the-world: requires exclusive access, so it runs
+    /// in maintenance windows, not under an attached executor.
+    pub fn rebalance_if_drifted(&mut self, threshold: f64) -> usize {
+        let mut rebalanced = 0;
+        for column in &mut self.columns {
+            if column.weight_drift() > threshold {
+                column.rebalance();
+                rebalanced += 1;
+            }
+        }
+        rebalanced
     }
 
     /// Aggregate status per column.
@@ -622,5 +891,199 @@ mod tests {
             .column(ColumnSpec::new("a", vec![1]))
             .column(ColumnSpec::new("a", vec![2]))
             .build();
+    }
+
+    #[test]
+    fn mutations_update_answers_digests_and_live_counts() {
+        let values = uniform_values(10_000, 29);
+        let mut oracle = values.clone();
+        let column = ShardedColumn::from_spec(ColumnSpec::new("a", values.clone()).with_shards(4));
+        let mutations = [
+            Mutation::Insert(123),
+            Mutation::Delete(values[17]),
+            Mutation::Delete(u64::MAX), // absent: rejected
+            Mutation::Update {
+                old: values[40],
+                new: 9_999_999, // outside every shard's range: cross-shard move
+            },
+        ];
+        let applied = column.apply_mutations(&mutations);
+        assert_eq!(applied, vec![true, true, false, true]);
+        oracle.push(123);
+        let at = oracle.iter().position(|&v| v == values[17]).unwrap();
+        oracle.remove(at);
+        let at = oracle.iter().position(|&v| v == values[40]).unwrap();
+        oracle.remove(at);
+        oracle.push(9_999_999);
+        assert_eq!(column.live_rows(), oracle.len());
+        for (low, high) in [
+            (0, u64::MAX),
+            (9_999_999, 9_999_999),
+            (123, 123),
+            (0, 5_000),
+        ] {
+            assert_eq!(
+                column.query(low, high),
+                scan_range_sum(&oracle, low, high),
+                "[{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_mutations_match_scan_oracle() {
+        let values = uniform_values(5_000, 31);
+        let mut oracle = values.clone();
+        let column = ShardedColumn::from_spec(
+            ColumnSpec::new("a", values)
+                .with_shards(4)
+                .with_policy(BudgetPolicy::FixedDelta(0.5)),
+        );
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..100 {
+            let v = next() % 5_000;
+            let m = match next() % 3 {
+                0 => Mutation::Insert(v),
+                1 => Mutation::Delete(v),
+                _ => Mutation::Update {
+                    old: v,
+                    new: next() % 5_000,
+                },
+            };
+            let applied = column.apply_mutations(std::slice::from_ref(&m))[0];
+            let expected = match m {
+                Mutation::Insert(v) => {
+                    oracle.push(v);
+                    true
+                }
+                Mutation::Delete(v) => match oracle.iter().position(|&x| x == v) {
+                    Some(at) => {
+                        oracle.remove(at);
+                        true
+                    }
+                    None => false,
+                },
+                Mutation::Update { old, new } => match oracle.iter().position(|&x| x == old) {
+                    Some(at) => {
+                        oracle.remove(at);
+                        oracle.push(new);
+                        true
+                    }
+                    None => false,
+                },
+            };
+            assert_eq!(applied, expected, "round {round}: {m:?}");
+            // Interleave queries and maintenance with the writes.
+            let low = next() % 5_000;
+            let high = low + next() % 500;
+            assert_eq!(
+                column.query(low, high),
+                scan_range_sum(&oracle, low, high),
+                "round {round} [{low}, {high}]"
+            );
+            column.advance_shard((round % 4) as usize);
+        }
+        assert_eq!(column.live_rows(), oracle.len());
+    }
+
+    #[test]
+    fn mutated_converged_column_re_enters_maintenance_and_reconverges() {
+        let values = uniform_values(4_000, 37);
+        let column = ShardedColumn::from_spec(
+            ColumnSpec::new("a", values.clone())
+                .with_shards(4)
+                .with_policy(BudgetPolicy::FixedDelta(1.0)),
+        );
+        let converge = |column: &ShardedColumn| {
+            let mut guard = 0;
+            while !column.is_converged() {
+                for shard in 0..column.shard_count() {
+                    column.advance_shard_by(shard, 8);
+                }
+                guard += 1;
+                assert!(guard < 10_000, "column did not converge");
+            }
+        };
+        converge(&column);
+        assert!(!column.take_shard_dirty(0));
+        let applied = column.apply_mutations(&[Mutation::Insert(42), Mutation::Insert(4_500)]);
+        assert_eq!(applied, vec![true, true]);
+        assert!(
+            !column.is_converged(),
+            "pending deltas must un-converge the column"
+        );
+        assert!(column.mutation_epoch() > 0);
+        converge(&column);
+        assert_eq!(
+            column.query(0, u64::MAX).count as usize,
+            values.len() + 2,
+            "all rows live after re-convergence"
+        );
+    }
+
+    #[test]
+    fn deleting_every_row_does_not_fake_convergence() {
+        let column = ShardedColumn::from_spec(
+            ColumnSpec::new("a", vec![10, 20, 30])
+                .with_shards(2)
+                .with_policy(BudgetPolicy::FixedDelta(1.0)),
+        );
+        let applied = column.apply_mutations(&[
+            Mutation::Delete(10),
+            Mutation::Delete(20),
+            Mutation::Delete(30),
+        ]);
+        assert_eq!(applied, vec![true, true, true]);
+        assert_eq!(column.live_rows(), 0);
+        // Tombstone sidecars are still pending: the column must keep
+        // reporting unconverged so maintenance folds them in.
+        assert!(!column.status().converged);
+        assert!(!column.is_converged());
+        let mut guard = 0;
+        while !column.is_converged() {
+            for shard in 0..column.shard_count() {
+                column.advance_shard_by(shard, 8);
+            }
+            guard += 1;
+            assert!(guard < 1_000, "tombstone merge did not converge");
+        }
+        assert!(column.status().converged);
+        assert_eq!(column.query(0, u64::MAX), ScanResult::EMPTY);
+    }
+
+    #[test]
+    fn rebalance_restores_equi_depth_after_skewed_inserts() {
+        let values = uniform_values(8_000, 41);
+        let table = Table::builder()
+            .column(ColumnSpec::new("a", values.clone()).with_shards(4))
+            .build();
+        let mut table = table;
+        // Pile inserts into a narrow band owned by one shard.
+        let band: Vec<Mutation> = (0..8_000).map(|i| Mutation::Insert(100 + i % 50)).collect();
+        table.apply_mutations("a", &band).unwrap();
+        let column = table.column("a").unwrap();
+        let before = column.weight_drift();
+        assert!(
+            before > 1.5,
+            "skewed inserts must drift the weights, got {before}"
+        );
+        let expected = column.query(0, u64::MAX);
+        assert_eq!(table.rebalance_if_drifted(1.5), 1);
+        let column = table.column("a").unwrap();
+        let after = column.weight_drift();
+        assert!(
+            after < before,
+            "rebalance must reduce drift: {after} vs {before}"
+        );
+        assert!(after < 1.5, "rebalanced drift still high: {after}");
+        // Same live multiset, served exactly, and re-convergeable.
+        assert_eq!(column.query(0, u64::MAX), expected);
+        assert_eq!(table.rebalance_if_drifted(1.5), 0, "second pass is a no-op");
     }
 }

@@ -8,7 +8,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use pi_core::budget::BudgetPolicy;
-use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
+use pi_core::decision::Algorithm;
+use pi_core::mutation::Mutation;
+use pi_engine::{AlgorithmChoice, ColumnSpec, Executor, ExecutorConfig, Table, TableQuery};
 use pi_storage::scan::scan_range_sum;
 use pi_workloads::patterns::{self, Pattern, WorkloadSpec};
 
@@ -75,6 +77,78 @@ proptest! {
             let expected = scan_range_sum(&values, q.low, q.high);
             prop_assert_eq!(*r, expected, "{} converged [{}, {}]", pattern, q.low, q.high);
         }
+    }
+
+    /// Mutation batches through the executor match a replay oracle for
+    /// every progressive algorithm, at every convergence stage —
+    /// including a converged table mutated afterwards — and the table
+    /// re-converges to exact answers.
+    #[test]
+    fn executor_mutations_match_oracle_for_all_algorithms(
+        values in prop::collection::vec(0..2_000u64, 10..400),
+        shards in 1..6usize,
+        algorithm_idx in 0..4usize,
+        muts in prop::collection::vec((0..3u64, 0..2_000u64, 0..2_000u64), 1..60),
+        converge_first in any::<bool>(),
+    ) {
+        let algorithm = Algorithm::ALL[algorithm_idx];
+        let table = Arc::new(
+            Table::builder()
+                .column(
+                    ColumnSpec::new("a", values.clone())
+                        .with_shards(shards)
+                        .with_choice(AlgorithmChoice::Fixed(algorithm))
+                        .with_policy(BudgetPolicy::FixedDelta(0.5)),
+                )
+                .build(),
+        );
+        let executor = Executor::with_config(
+            Arc::clone(&table),
+            ExecutorConfig { worker_threads: 2, maintenance_steps: 2, background_maintenance: false },
+        );
+        if converge_first {
+            executor.drive_to_convergence(1_000_000);
+            prop_assert!(table.is_converged(), "{algorithm}");
+        }
+        let mut oracle = values;
+        // Same-value interactions replay exactly in request order when
+        // updates insert into a band deletes never target (cross-shard
+        // update inserts run in a second wave); see `tests/mutations.rs`.
+        let batch: Vec<Mutation> = muts.iter().map(|&(tag, a, b)| match tag {
+            0 => Mutation::Insert(a),
+            1 => Mutation::Delete(a),
+            _ => Mutation::Update { old: a, new: 10_000 + b },
+        }).collect();
+        let applied = executor.apply_mutations("a", &batch).unwrap();
+        for (m, &ok) in batch.iter().zip(&applied) {
+            let want = match *m {
+                Mutation::Insert(v) => { oracle.push(v); true }
+                Mutation::Delete(v) => match oracle.iter().position(|&x| x == v) {
+                    Some(at) => { oracle.remove(at); true }
+                    None => false,
+                },
+                Mutation::Update { old, new } => match oracle.iter().position(|&x| x == old) {
+                    Some(at) => { oracle.remove(at); oracle.push(new); true }
+                    None => false,
+                },
+            };
+            prop_assert_eq!(ok, want, "{} {:?}", algorithm, m);
+        }
+        // Exact immediately after the writes, and after re-convergence.
+        for (low, high) in [(0, u64::MAX), (100, 700), (10_000, 13_000)] {
+            prop_assert_eq!(
+                executor.execute_one("a", low, high).unwrap(),
+                scan_range_sum(&oracle, low, high),
+                "{} [{}, {}]", algorithm, low, high
+            );
+        }
+        executor.drive_to_convergence(1_000_000);
+        prop_assert!(table.is_converged(), "{algorithm}: did not re-converge");
+        prop_assert_eq!(
+            executor.execute_one("a", 0, u64::MAX).unwrap(),
+            scan_range_sum(&oracle, 0, u64::MAX),
+            "{} after re-convergence", algorithm
+        );
     }
 
     /// Concurrent clients see exactly the answers a serial full scan

@@ -1,0 +1,304 @@
+//! Pending-mutation sidecars: the delta log a mutable progressive index
+//! keeps next to its immutable base snapshot.
+//!
+//! The paper's model assumes an append-only column: every index absorbs a
+//! frozen base [`crate::Column`] and refines towards a B+-tree. Mutation
+//! support keeps that model intact by never touching the base snapshot at
+//! all — instead, inserts and deletes accumulate in a [`DeltaSidecar`]:
+//!
+//! * **inserts** — a sorted multiset of values added after the snapshot
+//!   was taken;
+//! * **tombstones** — a sorted multiset of values deleted from the
+//!   snapshot (one tombstone cancels one live occurrence).
+//!
+//! A range query stays exact at *every* refinement stage by composing
+//! three terms: the index answer over the base snapshot, **plus** the
+//! sidecar's qualifying inserts, **minus** its qualifying tombstones
+//! ([`DeltaSidecar::scan`]). Because tombstones are only ever admitted for
+//! values that are live (the index layer validates before recording one),
+//! the subtraction can never underflow.
+//!
+//! Both multisets are kept sorted, so range scans are two binary searches
+//! plus a walk over the qualifying run, and cancellation (an insert
+//! nullifying a tombstone of the same value, or a delete consuming a
+//! pending insert) is `O(log n + n)` worst case on the `Vec` shift. The
+//! sidecar is bounded in practice: the index layer merges it back into a
+//! fresh base snapshot once it grows past a configured fraction of the
+//! live rows.
+
+use crate::column::Value;
+use crate::scan::ScanResult;
+
+/// The two pending multisets a mutable index keeps next to its immutable
+/// base snapshot: values inserted since the snapshot and tombstones over
+/// it. See the [module docs](self) for the query-composition contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSidecar {
+    /// Values inserted after the base snapshot was taken (sorted).
+    inserts: Vec<Value>,
+    /// Values deleted from the base snapshot (sorted); each entry cancels
+    /// exactly one live occurrence.
+    tombstones: Vec<Value>,
+}
+
+/// The net effect of a sidecar on one range predicate: what the sidecar
+/// adds to and removes from the base snapshot's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaScan {
+    /// Aggregate over the qualifying pending inserts.
+    pub added: ScanResult,
+    /// Aggregate over the qualifying tombstones.
+    pub removed: ScanResult,
+}
+
+impl DeltaScan {
+    /// Applies this delta to a base-snapshot answer:
+    /// `base + added - removed`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when `removed` exceeds what
+    /// `base + added` holds — which would mean a tombstone was admitted
+    /// for a value that was never live.
+    #[inline]
+    pub fn apply_to(self, base: ScanResult) -> ScanResult {
+        base.merge(self.added).subtract(self.removed)
+    }
+}
+
+/// Inserts `v` into the sorted vector, keeping it sorted.
+fn sorted_insert(vec: &mut Vec<Value>, v: Value) {
+    let at = vec.partition_point(|&x| x <= v);
+    vec.insert(at, v);
+}
+
+/// Removes one occurrence of `v` from the sorted vector. Returns whether
+/// an occurrence existed.
+fn sorted_remove(vec: &mut Vec<Value>, v: Value) -> bool {
+    let at = vec.partition_point(|&x| x < v);
+    if vec.get(at) == Some(&v) {
+        vec.remove(at);
+        true
+    } else {
+        false
+    }
+}
+
+/// Aggregate over the `[low, high]` run of a sorted vector.
+fn sorted_scan(vec: &[Value], low: Value, high: Value) -> ScanResult {
+    if low > high {
+        return ScanResult::EMPTY;
+    }
+    let start = vec.partition_point(|&x| x < low);
+    let end = vec.partition_point(|&x| x <= high);
+    let slice = &vec[start..end];
+    ScanResult {
+        sum: slice.iter().map(|&v| v as u128).sum(),
+        count: slice.len() as u64,
+    }
+}
+
+/// Number of occurrences of `v` in a sorted vector.
+fn sorted_count(vec: &[Value], v: Value) -> u64 {
+    (vec.partition_point(|&x| x <= v) - vec.partition_point(|&x| x < v)) as u64
+}
+
+impl DeltaSidecar {
+    /// An empty sidecar (no pending mutations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no mutations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Total number of pending entries (inserts plus tombstones) — the
+    /// size signal merge policies trigger on.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.tombstones.len()
+    }
+
+    /// Net change in live row count this sidecar represents
+    /// (`inserts - tombstones`, may be negative).
+    pub fn net_rows(&self) -> i64 {
+        self.inserts.len() as i64 - self.tombstones.len() as i64
+    }
+
+    /// Records an insert of `v`. If a tombstone for `v` is pending, the
+    /// two cancel instead (the multisets are over indistinguishable
+    /// values, so `tombstone(v) + insert(v)` is a no-op).
+    pub fn insert(&mut self, v: Value) {
+        if !sorted_remove(&mut self.tombstones, v) {
+            sorted_insert(&mut self.inserts, v);
+        }
+    }
+
+    /// Cancels one pending insert of `v`, if any. Returns whether an
+    /// insert was consumed — the cheap path of a delete, avoiding a
+    /// tombstone for a row the base snapshot never held.
+    pub fn cancel_insert(&mut self, v: Value) -> bool {
+        sorted_remove(&mut self.inserts, v)
+    }
+
+    /// Records a tombstone for `v`.
+    ///
+    /// The caller must have validated that an occurrence of `v` is live in
+    /// the base snapshot net of pending deltas; the sidecar itself cannot
+    /// check that.
+    pub fn add_tombstone(&mut self, v: Value) {
+        sorted_insert(&mut self.tombstones, v);
+    }
+
+    /// Net effect of the pending mutations on a `[low, high]` predicate
+    /// (inclusive; `low > high` is the empty range).
+    pub fn scan(&self, low: Value, high: Value) -> DeltaScan {
+        DeltaScan {
+            added: sorted_scan(&self.inserts, low, high),
+            removed: sorted_scan(&self.tombstones, low, high),
+        }
+    }
+
+    /// Net pending occurrences of exactly `v`
+    /// (`inserts(v) - tombstones(v)`, may be negative).
+    pub fn net_count_of(&self, v: Value) -> i64 {
+        sorted_count(&self.inserts, v) as i64 - sorted_count(&self.tombstones, v) as i64
+    }
+
+    /// The pending inserts, sorted ascending.
+    pub fn inserts(&self) -> &[Value] {
+        &self.inserts
+    }
+
+    /// The pending tombstones, sorted ascending.
+    pub fn tombstones(&self) -> &[Value] {
+        &self.tombstones
+    }
+
+    /// Sum over all pending inserts minus all tombstones, as a signed
+    /// contribution to the column total.
+    pub fn net_sum(&self) -> i128 {
+        self.inserts.iter().map(|&v| v as i128).sum::<i128>()
+            - self.tombstones.iter().map(|&v| v as i128).sum::<i128>()
+    }
+
+    /// Consumes the sidecar, returning `(inserts, tombstones)` — the
+    /// hand-off into an incremental merge.
+    pub fn into_parts(self) -> (Vec<Value>, Vec<Value>) {
+        (self.inserts, self.tombstones)
+    }
+}
+
+/// Tombstone-aware scan of an (unsorted) base slice: the predicated
+/// range-sum over `data` minus the qualifying tombstones, plus the
+/// qualifying inserts. The free-function form of the composition a
+/// mutable index performs; useful when no index exists yet (empty shards,
+/// reference oracles).
+pub fn scan_range_sum_with_deltas(
+    data: &[Value],
+    sidecar: &DeltaSidecar,
+    low: Value,
+    high: Value,
+) -> ScanResult {
+    sidecar
+        .scan(low, high)
+        .apply_to(crate::scan::scan_range_sum(data, low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sidecar_is_neutral() {
+        let s = DeltaSidecar::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.net_rows(), 0);
+        assert_eq!(s.net_sum(), 0);
+        let base = ScanResult { sum: 10, count: 2 };
+        assert_eq!(s.scan(0, 100).apply_to(base), base);
+    }
+
+    #[test]
+    fn inserts_add_and_tombstones_remove() {
+        let mut s = DeltaSidecar::new();
+        s.insert(5);
+        s.insert(15);
+        s.add_tombstone(7);
+        let base = ScanResult { sum: 7, count: 1 }; // base holds {7}
+        let r = s.scan(0, 20).apply_to(base);
+        assert_eq!(r, ScanResult { sum: 20, count: 2 }); // {5, 15}
+                                                         // A narrower predicate only sees the qualifying entries.
+        let r = s.scan(10, 20).apply_to(ScanResult::EMPTY);
+        assert_eq!(r, ScanResult { sum: 15, count: 1 });
+    }
+
+    #[test]
+    fn insert_cancels_pending_tombstone() {
+        let mut s = DeltaSidecar::new();
+        s.add_tombstone(9);
+        s.insert(9);
+        assert!(s.is_empty(), "tombstone(9) + insert(9) must cancel");
+    }
+
+    #[test]
+    fn cancel_insert_consumes_one_occurrence() {
+        let mut s = DeltaSidecar::new();
+        s.insert(4);
+        s.insert(4);
+        assert!(s.cancel_insert(4));
+        assert_eq!(s.net_count_of(4), 1);
+        assert!(s.cancel_insert(4));
+        assert!(!s.cancel_insert(4));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scan_is_a_closed_interval_over_multisets() {
+        let mut s = DeltaSidecar::new();
+        for v in [3, 3, 5, 8] {
+            s.insert(v);
+        }
+        let d = s.scan(3, 5);
+        assert_eq!(d.added, ScanResult { sum: 11, count: 3 });
+        assert_eq!(d.removed, ScanResult::EMPTY);
+        assert_eq!(s.scan(9, 2), DeltaScan::default());
+    }
+
+    #[test]
+    fn net_counters_track_both_sides() {
+        let mut s = DeltaSidecar::new();
+        s.insert(10);
+        s.insert(20);
+        s.add_tombstone(30);
+        assert_eq!(s.net_rows(), 1);
+        assert_eq!(s.net_sum(), 0);
+        assert_eq!(s.net_count_of(10), 1);
+        assert_eq!(s.net_count_of(30), -1);
+        assert_eq!(s.net_count_of(40), 0);
+        assert_eq!(s.inserts(), &[10, 20]);
+        assert_eq!(s.tombstones(), &[30]);
+    }
+
+    #[test]
+    fn free_function_composes_base_and_deltas() {
+        let data = vec![1, 5, 9, 5];
+        let mut s = DeltaSidecar::new();
+        s.add_tombstone(5);
+        s.insert(6);
+        let r = scan_range_sum_with_deltas(&data, &s, 4, 9);
+        // live multiset in [4, 9]: {5, 9, 6}
+        assert_eq!(r, ScanResult { sum: 20, count: 3 });
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let mut s = DeltaSidecar::new();
+        s.insert(2);
+        s.add_tombstone(7);
+        let (ins, tomb) = s.into_parts();
+        assert_eq!(ins, vec![2]);
+        assert_eq!(tomb, vec![7]);
+    }
+}

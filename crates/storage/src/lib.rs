@@ -17,7 +17,10 @@
 //!   that a progressive index can spread the build cost over many queries.
 //! * [`shard`] — equi-depth value-range partitioning of a column into
 //!   independent shards, the storage substrate of the `pi-engine` serving
-//!   layer.
+//!   layer, with live-weight drift detection for re-balancing.
+//! * [`delta`] — the pending-mutation sidecar ([`DeltaSidecar`]): sorted
+//!   insert/tombstone multisets plus tombstone-aware scan composition, the
+//!   storage half of update/delete support on progressive indexes.
 //!
 //! The crate is deliberately dependency-free and single-threaded: the
 //! progressive indexing model performs indexing work inside the query
@@ -40,11 +43,13 @@
 
 pub mod btree;
 pub mod column;
+pub mod delta;
 pub mod scan;
 pub mod shard;
 pub mod sorted;
 
 pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
 pub use column::{Column, Value};
+pub use delta::{DeltaScan, DeltaSidecar};
 pub use scan::ScanResult;
 pub use shard::RangePartition;

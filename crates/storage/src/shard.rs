@@ -159,6 +159,25 @@ impl RangePartition {
     pub fn boundaries(&self) -> &[Value] {
         &self.boundaries
     }
+
+    /// Live-row weight drift of a sharded column: the heaviest shard's row
+    /// count divided by the ideal equi-depth share (`total / shards`).
+    ///
+    /// `1.0` means perfectly balanced; a mutable column whose inserts and
+    /// deletes concentrate in one value range drifts upwards over time.
+    /// Callers re-balance (re-draw equi-depth boundaries from the live
+    /// values and re-split) once the drift crosses an operational
+    /// threshold — typically around `2.0`. Returns `1.0` for an empty
+    /// column (nothing to balance).
+    pub fn weight_drift(live_sizes: &[usize]) -> f64 {
+        let total: usize = live_sizes.iter().sum();
+        if total == 0 || live_sizes.is_empty() {
+            return 1.0;
+        }
+        let ideal = total as f64 / live_sizes.len() as f64;
+        let heaviest = *live_sizes.iter().max().expect("non-empty sizes") as f64;
+        heaviest / ideal
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +327,17 @@ mod tests {
                 assert!(shard.iter().all(|v| v >= shard.min() && v <= shard.max()));
             }
         }
+    }
+
+    #[test]
+    fn weight_drift_signals_imbalance() {
+        assert_eq!(RangePartition::weight_drift(&[]), 1.0);
+        assert_eq!(RangePartition::weight_drift(&[0, 0, 0]), 1.0);
+        assert!((RangePartition::weight_drift(&[100, 100, 100, 100]) - 1.0).abs() < 1e-12);
+        // One shard holding half of all rows across 4 shards → drift 2.0.
+        let drift = RangePartition::weight_drift(&[300, 100, 100, 100]);
+        assert!((drift - 2.0).abs() < 1e-12, "drift {drift}");
+        assert!(RangePartition::weight_drift(&[1000, 0, 0, 0]) > 3.9);
     }
 
     #[test]

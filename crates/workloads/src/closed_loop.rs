@@ -14,6 +14,7 @@
 //! without this crate depending on the engine.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::multi_client::ClientStream;
@@ -29,6 +30,43 @@ pub enum BatchOutcome {
     Rejected,
 }
 
+/// Per-batch latency percentiles of one closed-loop run, measured from
+/// batch submission to batch completion (served batches only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyPercentiles {
+    /// Median batch latency.
+    pub p50: Duration,
+    /// 95th-percentile batch latency.
+    pub p95: Duration,
+    /// 99th-percentile batch latency — the paper's robustness story at
+    /// serving granularity: progressive budgets exist precisely to keep
+    /// the tail close to the median.
+    pub p99: Duration,
+}
+
+impl LatencyPercentiles {
+    /// Computes percentiles from raw per-batch latencies (any order).
+    /// Returns all-zero percentiles for an empty sample.
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        samples.sort_unstable();
+        // Nearest-rank percentile: sample at ⌈p·n⌉ (1-based), the standard
+        // conservative estimator — never interpolates below an observed
+        // latency.
+        let at = |p: f64| {
+            let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        LatencyPercentiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    }
+}
+
 /// Aggregate result of one closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClosedLoopReport {
@@ -38,6 +76,8 @@ pub struct ClosedLoopReport {
     pub rejected: usize,
     /// Wall-clock duration of the whole run (all clients).
     pub elapsed: Duration,
+    /// Per-batch latency percentiles over the served batches.
+    pub latency: LatencyPercentiles,
 }
 
 impl ClosedLoopReport {
@@ -65,21 +105,35 @@ where
     assert!(batch_size > 0, "batch size must be positive");
     let served = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
     let start = Instant::now();
     std::thread::scope(|scope| {
         for stream in streams {
             let submit = &submit;
             let served = &served;
             let rejected = &rejected;
+            let latencies = &latencies;
             scope.spawn(move || {
+                // Per-client local buffer: one lock acquisition per client,
+                // not per batch, so latency accounting stays off the
+                // submission path.
+                let mut local = Vec::with_capacity(stream.queries.len() / batch_size + 1);
                 for batch in stream.queries.chunks(batch_size) {
+                    let submitted = Instant::now();
                     match submit(stream.client, batch) {
-                        BatchOutcome::Served => served.fetch_add(batch.len(), Ordering::Relaxed),
+                        BatchOutcome::Served => {
+                            local.push(submitted.elapsed());
+                            served.fetch_add(batch.len(), Ordering::Relaxed)
+                        }
                         BatchOutcome::Rejected => {
                             rejected.fetch_add(batch.len(), Ordering::Relaxed)
                         }
                     };
                 }
+                latencies
+                    .lock()
+                    .expect("latency buffer poisoned")
+                    .append(&mut local);
             });
         }
     });
@@ -87,6 +141,7 @@ where
         served: served.load(Ordering::Relaxed),
         rejected: rejected.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
+        latency: LatencyPercentiles::from_samples(latencies.into_inner().expect("latency buffer")),
     }
 }
 
@@ -134,5 +189,44 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         let _ = drive(&[], 0, |_c, _b| BatchOutcome::Served);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_populated() {
+        let streams = multi_client::generate(&MultiClientSpec::mixed(2, 1_000, 40));
+        let report = drive(&streams, 10, |_c, _b| {
+            std::hint::black_box((0..2_000u64).sum::<u64>());
+            BatchOutcome::Served
+        });
+        let l = report.latency;
+        assert!(l.p50 > Duration::ZERO, "p50 must be measured");
+        assert!(
+            l.p50 <= l.p95 && l.p95 <= l.p99,
+            "percentiles must be ordered"
+        );
+    }
+
+    #[test]
+    fn percentiles_from_known_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let l = LatencyPercentiles::from_samples(samples);
+        assert_eq!(l.p50, Duration::from_micros(50));
+        assert_eq!(l.p95, Duration::from_micros(95));
+        assert_eq!(l.p99, Duration::from_micros(99));
+        assert_eq!(
+            LatencyPercentiles::from_samples(Vec::new()),
+            LatencyPercentiles::default()
+        );
+        let single = LatencyPercentiles::from_samples(vec![Duration::from_millis(3)]);
+        assert_eq!(single.p50, Duration::from_millis(3));
+        assert_eq!(single.p99, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn rejected_batches_do_not_contribute_latency() {
+        let streams = multi_client::generate(&MultiClientSpec::mixed(1, 1_000, 20));
+        let report = drive(&streams, 10, |_c, _b| BatchOutcome::Rejected);
+        assert_eq!(report.latency, LatencyPercentiles::default());
+        assert_eq!(report.served, 0);
     }
 }

@@ -16,8 +16,11 @@
 //!   for the `pi-engine` concurrent serving layer.
 //! * [`closed_loop`] — a transport-agnostic closed-loop driver running C
 //!   concurrent clients against any submit function (raw executor or
-//!   `pi-sched` server), reporting served/rejected counts and
-//!   throughput.
+//!   `pi-sched` server), reporting served/rejected counts, throughput and
+//!   per-batch latency percentiles (p50/p95/p99).
+//! * [`mixed`] — mixed read/write streams: range queries interleaved with
+//!   inserts, deletes and updates at a configurable write fraction, for
+//!   exercising mutation support on the serving stack.
 //!
 //! All generators are deterministic given a seed, and all sizes are
 //! parameters so the same code scales from unit tests to full experiment
@@ -40,12 +43,14 @@
 
 pub mod closed_loop;
 pub mod data;
+pub mod mixed;
 pub mod multi_client;
 pub mod patterns;
 pub mod skyserver;
 
-pub use closed_loop::{BatchOutcome, ClosedLoopReport};
+pub use closed_loop::{BatchOutcome, ClosedLoopReport, LatencyPercentiles};
 pub use data::Distribution;
+pub use mixed::{MixedOp, MixedSpec, WriteOp};
 pub use multi_client::{ClientStream, MultiClientSpec, PatternAssignment};
 pub use patterns::{Pattern, RangeQuery, WorkloadSpec};
 pub use skyserver::{SkyServerConfig, SkyServerWorkload};

@@ -1,0 +1,228 @@
+//! Mixed read/write workload streams.
+//!
+//! The paper evaluates read-only query streams; the serving stack now
+//! supports interleaved mutations, so this module generates the matching
+//! workload: a deterministic stream of [`MixedOp`]s — range queries
+//! interleaved with inserts, deletes and updates at a configurable write
+//! fraction. Like the SkyServer traces the paper evaluates against, real
+//! workloads interleave writes with the query stream; this generator is
+//! the substrate for benchmarking the engine under exactly that.
+//!
+//! The crate stays engine-agnostic (as with [`crate::closed_loop`]):
+//! writes are described by the plain [`WriteOp`] value type, which the
+//! engine layer maps 1:1 onto its `Mutation` type.
+//!
+//! Deletes and updates draw their victim values from the same domain the
+//! data was generated over, so some will miss (no live occurrence); the
+//! engine reports those as rejected, which is itself worth exercising.
+//! [`MixedSpec::insert_domain`] lets inserts draw from a wider domain than
+//! the base data to exercise digest widening and shard-boundary drift.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::patterns::RangeQuery;
+
+/// One write against a column, as a plain value type (the engine converts
+/// to its `Mutation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Add one occurrence of the value.
+    Insert(u64),
+    /// Remove one live occurrence of the value.
+    Delete(u64),
+    /// Replace one live occurrence of `old` with `new`.
+    Update {
+        /// The value to remove.
+        old: u64,
+        /// The value to insert in its place.
+        new: u64,
+    },
+}
+
+/// One operation of a mixed read/write stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedOp {
+    /// A range query.
+    Read(RangeQuery),
+    /// A mutation.
+    Write(WriteOp),
+}
+
+/// Specification of a mixed read/write stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSpec {
+    /// Value domain of the base data: reads and delete/update victims are
+    /// drawn from `[0, domain)`.
+    pub domain: u64,
+    /// Upper bound (exclusive) for inserted and updated-in values;
+    /// defaults to `domain`. Set wider to push values past the original
+    /// shard boundaries.
+    pub insert_domain: u64,
+    /// Total number of operations.
+    pub ops: usize,
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Relative weights of insert/delete/update among the writes.
+    pub write_mix: (u32, u32, u32),
+    /// Half-width of the generated range queries (queries are
+    /// `[v, v + 2 · half_width]`, clamped to the domain).
+    pub half_width: u64,
+    /// Base seed; streams are exactly reproducible per seed.
+    pub seed: u64,
+}
+
+impl MixedSpec {
+    /// A balanced default: `ops` operations over `[0, domain)` at the
+    /// given write fraction, equal insert/delete/update weights, 1%
+    /// selectivity reads.
+    pub fn new(domain: u64, ops: usize, write_fraction: f64) -> Self {
+        MixedSpec {
+            domain,
+            insert_domain: domain,
+            ops,
+            write_fraction,
+            write_mix: (1, 1, 1),
+            half_width: (domain / 200).max(1),
+            seed: 0xD1CE,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the insert domain (builder style).
+    pub fn with_insert_domain(mut self, insert_domain: u64) -> Self {
+        self.insert_domain = insert_domain;
+        self
+    }
+
+    /// Sets the insert/delete/update weights (builder style).
+    ///
+    /// # Panics
+    /// Panics when all three weights are zero while
+    /// [`MixedSpec::write_fraction`] is positive (there would be no write
+    /// to generate).
+    pub fn with_write_mix(mut self, insert: u32, delete: u32, update: u32) -> Self {
+        self.write_mix = (insert, delete, update);
+        self
+    }
+}
+
+/// Generates the mixed operation stream for `spec`.
+///
+/// # Panics
+/// Panics when `write_fraction` is outside `[0, 1]`, when the domain is
+/// zero, or when a positive write fraction comes with an all-zero write
+/// mix.
+pub fn generate(spec: &MixedSpec) -> Vec<MixedOp> {
+    assert!(
+        (0.0..=1.0).contains(&spec.write_fraction),
+        "write fraction must lie in [0, 1], got {}",
+        spec.write_fraction
+    );
+    assert!(spec.domain > 0, "mixed workload needs a non-empty domain");
+    let (wi, wd, wu) = spec.write_mix;
+    let mix_total = wi as u64 + wd as u64 + wu as u64;
+    assert!(
+        spec.write_fraction == 0.0 || mix_total > 0,
+        "a positive write fraction needs a non-zero write mix"
+    );
+    let insert_domain = spec.insert_domain.max(spec.domain);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.ops)
+        .map(|_| {
+            if spec.write_fraction > 0.0 && rng.gen_bool(spec.write_fraction) {
+                let pick = rng.gen_range(0..mix_total);
+                let write = if pick < wi as u64 {
+                    WriteOp::Insert(rng.gen_range(0..insert_domain))
+                } else if pick < wi as u64 + wd as u64 {
+                    WriteOp::Delete(rng.gen_range(0..spec.domain))
+                } else {
+                    WriteOp::Update {
+                        old: rng.gen_range(0..spec.domain),
+                        new: rng.gen_range(0..insert_domain),
+                    }
+                };
+                MixedOp::Write(write)
+            } else {
+                let low = rng.gen_range(0..spec.domain);
+                let high = low
+                    .saturating_add(2 * spec.half_width)
+                    .min(spec.domain.saturating_sub(1));
+                MixedOp::Read(RangeQuery { low, high })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let spec = MixedSpec::new(10_000, 500, 0.3);
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = generate(&spec.clone().with_seed(9));
+        assert_ne!(generate(&spec), other);
+    }
+
+    #[test]
+    fn write_fraction_is_roughly_respected() {
+        let spec = MixedSpec::new(10_000, 4_000, 0.25);
+        let ops = generate(&spec);
+        assert_eq!(ops.len(), 4_000);
+        let writes = ops
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Write(_)))
+            .count();
+        let fraction = writes as f64 / ops.len() as f64;
+        assert!(
+            (fraction - 0.25).abs() < 0.05,
+            "write fraction {fraction} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn extremes_generate_pure_streams() {
+        let reads = generate(&MixedSpec::new(1_000, 200, 0.0));
+        assert!(reads.iter().all(|op| matches!(op, MixedOp::Read(_))));
+        let writes = generate(&MixedSpec::new(1_000, 200, 1.0));
+        assert!(writes.iter().all(|op| matches!(op, MixedOp::Write(_))));
+    }
+
+    #[test]
+    fn values_respect_their_domains() {
+        let spec = MixedSpec::new(1_000, 2_000, 0.5).with_insert_domain(5_000);
+        for op in generate(&spec) {
+            match op {
+                MixedOp::Read(q) => {
+                    assert!(q.low <= q.high && q.high < 1_000);
+                }
+                MixedOp::Write(WriteOp::Insert(v)) => assert!(v < 5_000),
+                MixedOp::Write(WriteOp::Delete(v)) => assert!(v < 1_000),
+                MixedOp::Write(WriteOp::Update { old, new }) => {
+                    assert!(old < 1_000 && new < 5_000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_mix_weights_bias_the_ops() {
+        let spec = MixedSpec::new(1_000, 3_000, 1.0).with_write_mix(1, 0, 0);
+        assert!(generate(&spec)
+            .iter()
+            .all(|op| matches!(op, MixedOp::Write(WriteOp::Insert(_)))));
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn out_of_range_fraction_rejected() {
+        let _ = generate(&MixedSpec::new(100, 10, 1.5));
+    }
+}

@@ -155,7 +155,7 @@ pub mod collection {
         max: usize,
     }
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Returns the inclusive `(min, max)` length bounds.
         fn bounds(self) -> (usize, usize);
