@@ -26,9 +26,11 @@ use criterion::{black_box, BenchResult, Criterion};
 use pi_bench::BENCH_SCALE;
 use pi_core::budget::BudgetPolicy;
 use pi_core::mutation::Mutation;
+use pi_engine::typed::{TableKey, TypedColumnSpec, TypedExecutor, TypedQuery, TypedTable};
 use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
 use pi_sched::ServerConfig;
 use pi_workloads::closed_loop::{self, BatchOutcome, LatencyPercentiles};
+use pi_workloads::domains;
 use pi_workloads::mixed::{self, MixedOp, MixedSpec, WriteOp};
 use pi_workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
 use pi_workloads::{data, Distribution, WorkloadSpec};
@@ -405,9 +407,105 @@ fn bench_mixed_workload(
     });
 }
 
+/// Builds a typed executor over a fresh 4-shard column of `keys`.
+fn build_typed_executor<K: TableKey>(keys: Vec<K>) -> TypedExecutor<K> {
+    let table = Arc::new(
+        TypedTable::builder()
+            .column(
+                TypedColumnSpec::new("a", keys)
+                    .with_shards(4)
+                    .with_policy(BudgetPolicy::FixedDelta(0.25)),
+            )
+            .build(),
+    );
+    TypedExecutor::with_config(
+        table,
+        ExecutorConfig {
+            maintenance_steps: 2,
+            ..ExecutorConfig::default()
+        },
+    )
+}
+
+/// Serves per-client typed range streams through a [`TypedExecutor`],
+/// closed-loop, in batches of ten (the typed analogue of [`serve`]).
+fn serve_typed<K: TableKey>(
+    executor: &TypedExecutor<K>,
+    streams: &[Vec<(K, K)>],
+) -> closed_loop::ClosedLoopReport {
+    let items: Vec<(usize, &[(K, K)])> = streams
+        .iter()
+        .enumerate()
+        .map(|(client, s)| (client, s.as_slice()))
+        .collect();
+    closed_loop::drive_items(&items, 10, |_client, chunk| {
+        let batch: Vec<TypedQuery<K>> = chunk
+            .iter()
+            .map(|(low, high)| TypedQuery::new("a", low.clone(), high.clone()))
+            .collect();
+        black_box(executor.execute_batch(&batch).expect("known column"));
+        BatchOutcome::Served
+    })
+}
+
+/// Typed key domains: float and string columns served through the
+/// order-preserving encodings and the [`TypedExecutor`] facade, uniform
+/// and skewed per domain. Same closed-loop shape as the `shards`/`delta`
+/// groups (4 clients, batches of ten, fresh table per sample), so
+/// `queries_per_second` is comparable across groups; the skewed string
+/// configuration additionally pays the exact-match tie-break path on
+/// every hot-prefix boundary (90% of rows share one 10-byte prefix —
+/// one *code*).
+fn bench_typed_domains(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
+    const DISTS: [Distribution; 2] = [Distribution::UniformRandom, Distribution::Skewed];
+    let half = params.rows as f64 / 2.0;
+
+    let ids = DISTS
+        .iter()
+        .map(|d| format!("engine_throughput/float/serve_4_shards/{d}"))
+        .collect();
+    let float_streams: Vec<Vec<(f64, f64)>> = (0..CLIENT_THREADS)
+        .map(|client| {
+            domains::float_ranges(params.queries_per_client, half, 0.02, 71 ^ client as u64)
+        })
+        .collect();
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let executor = build_typed_executor(domains::float_data(DISTS[i], params.rows, half, 73));
+        let start = Instant::now();
+        let report = black_box(serve_typed(&executor, &float_streams));
+        (start.elapsed(), report.latency)
+    });
+
+    let ids = DISTS
+        .iter()
+        .map(|d| format!("engine_throughput/string/serve_4_shards/{d}"))
+        .collect();
+    let string_streams: Vec<Vec<Vec<(String, String)>>> = DISTS
+        .iter()
+        .map(|&dist| {
+            (0..CLIENT_THREADS)
+                .map(|client| {
+                    domains::string_ranges(dist, params.queries_per_client, 79 ^ client as u64)
+                })
+                .collect()
+        })
+        .collect();
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let executor = build_typed_executor(domains::string_data(DISTS[i], params.rows, 83));
+        let start = Instant::now();
+        let report = black_box(serve_typed(&executor, &string_streams[i]));
+        (start.elapsed(), report.latency)
+    });
+}
+
 /// Renders the results as `BENCH_engine.json`: queries/s per benchmark,
 /// grouped the way the ids are (`shards`, `delta`, `converged`, `server`,
-/// `mixed`). `queries_per_second` comes from the **median** paired round
+/// `mixed`, `float`, `string`). `queries_per_second` comes from the
+/// **median** paired round
 /// (see [`Paired`]); the fastest round rides along as
 /// `min_seconds_per_iter`, and each entry reports the median round's
 /// per-batch latency percentiles in microseconds (`p50_us`/`p95_us`/
@@ -464,6 +562,7 @@ fn main() {
     bench_converged_serving(&c, &mut latency, params);
     bench_server_front_end(&c, &mut latency, params);
     bench_mixed_workload(&c, &mut latency, params);
+    bench_typed_domains(&c, &mut latency, params);
     if params.smoke {
         println!("\nsmoke iteration complete ({} results)", c.results().len());
     } else {

@@ -24,6 +24,46 @@ pub const DEFAULT_BUCKET_COUNT: usize = 64;
 /// block).
 pub const DEFAULT_BLOCK_CAPACITY: usize = 16 * 1024;
 
+/// Width in bits of the **encoded key domain**: every key type served by
+/// the stack — `u64` itself, sign-flipped `i64`, total-ordered `f64`,
+/// big-endian string prefixes — maps into `u64` through an
+/// order-preserving encoding (`pi_storage::encoding::OrderedKey`), so no
+/// value a radix planner can meet ever carries more than this many
+/// significant bits.
+///
+/// The constant matters because encoded domains are *wide by
+/// construction*: a column of floats straddling zero spans nearly the
+/// full code space (negative values encode near `0`, positive values
+/// near `u64::MAX`), unlike the paper's dense integer domains `[0, n)`.
+/// Radix planning must therefore size its recursion depth / pass count
+/// from [`domain_bits`] with this as the ceiling, never from the row
+/// count.
+pub const ENCODED_DOMAIN_BITS: u32 = 64;
+
+/// Number of significant bits of the normalised domain `[min, max]` —
+/// the quantity radix bucket planning is sized by (MSD recursion depth,
+/// LSD pass count). `0` when the domain holds a single value; at most
+/// [`ENCODED_DOMAIN_BITS`].
+pub fn domain_bits(min: Value, max: Value) -> u32 {
+    if max <= min {
+        0
+    } else {
+        ENCODED_DOMAIN_BITS - (max - min).leading_zeros()
+    }
+}
+
+/// Worst-case number of radix levels (MSD) or passes (LSD) over a full
+/// encoded domain with `log2 b = radix_bits` bits consumed per level:
+/// `⌈ENCODED_DOMAIN_BITS / radix_bits⌉`. With the paper's `b = 64` this
+/// is 11 — the bound under which every encoded key domain converges.
+///
+/// # Panics
+/// Panics when `radix_bits == 0`.
+pub const fn max_radix_levels(radix_bits: u32) -> u32 {
+    assert!(radix_bits > 0, "radix digit must cover at least one bit");
+    ENCODED_DOMAIN_BITS.div_ceil(radix_bits)
+}
+
 /// A bucket stored as a list of fixed-capacity blocks.
 #[derive(Debug, Clone, Default)]
 pub struct BlockBucket {
@@ -385,6 +425,33 @@ mod tests {
     #[should_panic(expected = "block capacity")]
     fn zero_block_capacity_rejected() {
         let _ = BlockBucket::new(0);
+    }
+
+    #[test]
+    fn domain_bits_spans_narrow_and_encoded_domains() {
+        assert_eq!(domain_bits(0, 0), 0);
+        assert_eq!(domain_bits(5, 5), 0);
+        assert_eq!(domain_bits(0, 1), 1);
+        assert_eq!(domain_bits(0, 63), 6);
+        assert_eq!(domain_bits(100, 163), 6);
+        assert_eq!(domain_bits(0, u64::MAX), ENCODED_DOMAIN_BITS);
+        // Encoded key domains are wide by construction: a float column
+        // straddling zero spans nearly the whole code space.
+        use pi_storage::encoding::OrderedKey;
+        let lo = (-1.0f64).encode();
+        let hi = 1.0f64.encode();
+        assert!(domain_bits(lo, hi) > 60);
+        assert!(domain_bits(lo, hi) <= ENCODED_DOMAIN_BITS);
+    }
+
+    #[test]
+    fn max_radix_levels_bounds_recursion_depth() {
+        let radix_bits = (DEFAULT_BUCKET_COUNT as u32).trailing_zeros();
+        assert_eq!(max_radix_levels(radix_bits), 11); // ⌈64 / 6⌉ with b = 64
+        assert_eq!(max_radix_levels(1), ENCODED_DOMAIN_BITS);
+        assert_eq!(max_radix_levels(64), 1);
+        // Every encoded domain's planning stays within the bound.
+        assert!(domain_bits(0, u64::MAX).div_ceil(radix_bits) <= max_radix_levels(radix_bits));
     }
 
     #[test]

@@ -129,11 +129,7 @@ impl ProgressiveRadixsortLsd {
         let n = column.len();
         let model = CostModel::new(constants, n);
         let min = column.min();
-        let domain_bits = if column.max() <= min {
-            0
-        } else {
-            64 - (column.max() - min).leading_zeros()
-        };
+        let domain_bits = crate::buckets::domain_bits(min, column.max());
         let radix_bits = config.bucket_count.trailing_zeros();
         let rounds_total = domain_bits.div_ceil(radix_bits).max(1);
         let state = if n == 0 {

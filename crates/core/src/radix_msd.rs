@@ -22,7 +22,9 @@ use pi_storage::btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
 use pi_storage::scan::{scan_range_sum, ScanResult};
 use pi_storage::{sorted, Column, Value};
 
-use crate::buckets::{BlockBucket, BucketSet, DEFAULT_BLOCK_CAPACITY, DEFAULT_BUCKET_COUNT};
+use crate::buckets::{
+    domain_bits, BlockBucket, BucketSet, DEFAULT_BLOCK_CAPACITY, DEFAULT_BUCKET_COUNT,
+};
 use crate::budget::{BudgetController, BudgetPolicy};
 use crate::cost_model::{CostConstants, CostModel};
 use crate::index::RangeIndex;
@@ -485,16 +487,6 @@ impl ProgressiveRadixsortMsd {
             indexing_ops: 0,
             elements_scanned: result.count,
         }
-    }
-}
-
-/// Number of bits needed to represent any normalised value of the domain
-/// `[min, max]` (0 when the domain holds a single value).
-fn domain_bits(min: Value, max: Value) -> u32 {
-    if max <= min {
-        0
-    } else {
-        64 - (max - min).leading_zeros()
     }
 }
 

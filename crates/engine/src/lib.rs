@@ -37,6 +37,14 @@
 //!   re-established after every write burst. When skewed writes drift the
 //!   shard weights, [`Table::rebalance_if_drifted`] re-draws the
 //!   equi-depth boundaries from the live values.
+//! * **Typed key domains** — [`typed::TypedTable`] and
+//!   [`typed::TypedExecutor`] open float, signed-integer and string
+//!   columns over the same `u64` core through order-preserving encodings
+//!   ([`pi_storage::encoding::OrderedKey`]): shard boundaries are drawn
+//!   in encoded space, answers are exact under the key domain's total
+//!   order at every refinement stage (string boundary ties resolved by
+//!   an exact-match side path), and SUM digests are capability-gated to
+//!   the domains that can decode them.
 //!
 //! The executor implements [`pi_sched::BatchExecutor`], so a
 //! [`pi_sched::Server`] can front it with a bounded admission queue,
@@ -82,10 +90,14 @@
 pub mod executor;
 pub mod stats;
 pub mod table;
+pub mod typed;
 
 pub use executor::{EngineError, Executor, ExecutorConfig, TableQuery};
 pub use stats::{estimate_distribution, WorkloadStats};
 pub use table::{AlgorithmChoice, ColumnSpec, Shard, ShardedColumn, Table, TableBuilder};
+pub use typed::{
+    TableKey, TypedColumnSpec, TypedExecutor, TypedMutation, TypedQuery, TypedResult, TypedTable,
+};
 
 /// A [`pi_sched::Server`] front-end over the engine's [`Executor`]:
 /// bounded admission queue, batch coalescing across clients, backpressure

@@ -885,6 +885,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_column_digest_sentinels_never_fake_coverage() {
+        // An empty sub-column's digest starts from the min/max fold
+        // neutral elements (min == Value::MAX, max == Value::MIN): the
+        // inverted pair can never satisfy `low <= min && max <= high`
+        // by accident because `covered_total` guards on the live count
+        // first. This is the regression test for the empty-column
+        // digest path (capability-gated typed digests sit on top of
+        // exactly these totals).
+        let column = ShardedColumn::from_spec(ColumnSpec::new("e", vec![]).with_shards(3));
+        assert_eq!(column.live_rows(), 0);
+        for (low, high) in [(0, u64::MAX), (0, 0), (u64::MAX, u64::MAX), (5, 3)] {
+            for shard in 0..column.shard_count() {
+                assert_eq!(
+                    column.covered_total(shard, low, high),
+                    Some(ScanResult::EMPTY),
+                    "shard {shard} [{low}, {high}]"
+                );
+            }
+            assert_eq!(column.query(low, high), ScanResult::EMPTY);
+        }
+        assert!(column.status().converged);
+
+        // Inserts widen the neutral elements into real bounds and the
+        // covered-shard shortcut stays exact.
+        let applied = column.apply_mutations(&[Mutation::Insert(7), Mutation::Insert(9)]);
+        assert_eq!(applied, vec![true, true]);
+        let shard = column.shard_of(7);
+        assert_eq!(
+            column.covered_total(shard, 0, u64::MAX),
+            Some(ScanResult { sum: 16, count: 2 })
+        );
+        assert_eq!(column.query(0, u64::MAX), ScanResult { sum: 16, count: 2 });
+
+        // Deleting every row returns the digest to the empty state: the
+        // count guard answers EMPTY even though [min, max] stays
+        // stale-wide.
+        let applied = column.apply_mutations(&[Mutation::Delete(7), Mutation::Delete(9)]);
+        assert_eq!(applied, vec![true, true]);
+        assert_eq!(
+            column.covered_total(shard, 0, u64::MAX),
+            Some(ScanResult::EMPTY)
+        );
+        assert_eq!(column.query(0, u64::MAX), ScanResult::EMPTY);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate column name")]
     fn duplicate_names_rejected() {
         let _ = Table::builder()

@@ -31,8 +31,13 @@ impl Column {
     /// Creates a column from a vector of values.
     ///
     /// Computes `min`/`max` eagerly with a single pass; an empty input
-    /// yields `min == Value::MAX` and `max == 0`, matching the neutral
-    /// elements of `min`/`max` folds.
+    /// yields the neutral elements of the `min`/`max` folds, `min ==
+    /// Value::MAX` and `max == Value::MIN` (`0`). The inverted pair
+    /// (`min > max`) can never satisfy a covered-range check, and every
+    /// aggregate consumer must guard on emptiness (row count or
+    /// [`Column::domain`] being `None`) rather than on the sentinels —
+    /// the engine's shard digests do (see the empty-column regression
+    /// tests in `pi-engine`).
     pub fn from_vec(data: Vec<Value>) -> Self {
         let mut min = Value::MAX;
         let mut max = Value::MIN;
@@ -41,6 +46,24 @@ impl Column {
             max = max.max(v);
         }
         Self { data, min, max }
+    }
+
+    /// Creates a column from typed keys via their order-preserving
+    /// encoding ([`crate::encoding::OrderedKey`]): the construction path
+    /// of float / signed-integer / string-prefix columns. The stored
+    /// values — and therefore `min`/`max`, shard boundaries and digests —
+    /// live in the encoded domain.
+    ///
+    /// ```
+    /// use pi_storage::encoding::OrderedKey;
+    /// use pi_storage::Column;
+    ///
+    /// let col = Column::from_keys(&[-1.5f64, 2.0, -0.25]);
+    /// assert_eq!(col.min(), (-1.5f64).encode());
+    /// assert_eq!(col.max(), 2.0f64.encode());
+    /// ```
+    pub fn from_keys<K: crate::encoding::OrderedKey>(keys: &[K]) -> Self {
+        Self::from_vec(crate::encoding::encode_keys(keys))
     }
 
     /// Number of rows in the column.

@@ -21,6 +21,11 @@
 //! * [`delta`] — the pending-mutation sidecar ([`DeltaSidecar`]): sorted
 //!   insert/tombstone multisets plus tombstone-aware scan composition, the
 //!   storage half of update/delete support on progressive indexes.
+//! * [`encoding`] — order-preserving key encodings ([`OrderedKey`]) that
+//!   open float, signed-integer and string-prefix key domains over the
+//!   same `u64` core: encode keys going in, decode answers coming out,
+//!   with an explicit NaN/signed-zero policy for `f64` and a fixed
+//!   big-endian prefix ([`StrPrefix`]) for strings.
 //!
 //! The crate is deliberately dependency-free and single-threaded: the
 //! progressive indexing model performs indexing work inside the query
@@ -44,6 +49,7 @@
 pub mod btree;
 pub mod column;
 pub mod delta;
+pub mod encoding;
 pub mod scan;
 pub mod shard;
 pub mod sorted;
@@ -51,5 +57,6 @@ pub mod sorted;
 pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
 pub use column::{Column, Value};
 pub use delta::{DeltaScan, DeltaSidecar};
+pub use encoding::{OrderedKey, StrPrefix, STR_PREFIX_LEN};
 pub use scan::ScanResult;
 pub use shard::RangePartition;

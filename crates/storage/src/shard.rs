@@ -160,6 +160,15 @@ impl RangePartition {
         &self.boundaries
     }
 
+    /// The split keys decoded into a typed key domain
+    /// ([`crate::encoding::OrderedKey`]). For a partition drawn over an
+    /// encoded column the boundaries live in code space; this is the
+    /// observability path back to the key domain (e.g. the float values
+    /// an equi-depth partition of an `f64` column actually split at).
+    pub fn boundaries_in<K: crate::encoding::OrderedKey>(&self) -> Vec<K> {
+        crate::encoding::decode_codes(&self.boundaries)
+    }
+
     /// Live-row weight drift of a sharded column: the heaviest shard's row
     /// count divided by the ideal equi-depth share (`total / shards`).
     ///

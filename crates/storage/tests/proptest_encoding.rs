@@ -1,0 +1,154 @@
+//! Property tests for the order-preserving key encodings: round-trip and
+//! order-preservation oracles over the full value spaces — for `f64`
+//! that includes NaN, `-0.0` vs `+0.0`, subnormals and ±inf (values are
+//! drawn from arbitrary *bit patterns*, so every IEEE class is
+//! generated); for string prefixes it includes the empty string, shared
+//! prefixes and non-ASCII bytes.
+
+use std::cmp::Ordering;
+
+use proptest::prelude::*;
+
+use pi_storage::encoding::{OrderedKey, StrPrefix, STR_PREFIX_LEN};
+
+/// The encoding's canonical form of an arbitrary bit pattern: all NaNs
+/// collapse to the one canonical NaN (the documented policy); everything
+/// else is the value itself.
+fn canonical_f64(bits: u64) -> f64 {
+    let v = f64::from_bits(bits);
+    if v.is_nan() {
+        f64::NAN
+    } else {
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `decode(encode(v))` is bit-exact for every canonical f64 —
+    /// subnormals, ±0.0, ±inf and the canonical NaN included.
+    #[test]
+    fn f64_round_trips_bit_exactly(bits in any::<u64>()) {
+        let v = canonical_f64(bits);
+        prop_assert_eq!(
+            f64::decode(v.encode()).to_bits(),
+            v.to_bits(),
+            "{:?} ({:#018x})", v, v.to_bits()
+        );
+    }
+
+    /// The encoding realises the IEEE-754 total order: for canonical
+    /// values, `total_cmp` and unsigned code order agree exactly
+    /// (strictly — distinct codes for distinct values, so `-0.0 < +0.0`
+    /// and subnormal neighbours stay distinguishable).
+    #[test]
+    fn f64_order_matches_total_cmp(a_bits in any::<u64>(), b_bits in any::<u64>()) {
+        let (a, b) = (canonical_f64(a_bits), canonical_f64(b_bits));
+        prop_assert_eq!(
+            a.encode().cmp(&b.encode()),
+            a.total_cmp(&b),
+            "{:?} vs {:?}", a, b
+        );
+    }
+
+    /// Every NaN bit pattern (any sign, any payload) encodes to the one
+    /// canonical code, which sorts above every non-NaN code.
+    #[test]
+    fn f64_nan_policy_is_total(payload in any::<u64>(), other_bits in any::<u64>()) {
+        // Force an exponent of all-ones and a non-zero mantissa: a NaN.
+        let nan_bits = payload | 0x7ff0_0000_0000_0000 | 1;
+        let nan = f64::from_bits(nan_bits);
+        prop_assert!(nan.is_nan());
+        prop_assert_eq!(nan.encode(), f64::NAN.encode());
+        let other = canonical_f64(other_bits);
+        if !other.is_nan() {
+            prop_assert!(other.encode() < nan.encode(), "{:?} must sort below NaN", other);
+        }
+    }
+
+    /// `decode(encode(v))` is exact for every i64 and the code order is
+    /// the signed order.
+    #[test]
+    fn i64_round_trips_and_orders(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(i64::decode(a.encode()), a);
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+    }
+
+    /// Sum decoding is exact for arbitrary i64 multisets: summing codes
+    /// and decoding equals summing keys.
+    #[test]
+    fn i64_sum_decodes_exactly(keys in prop::collection::vec(any::<i64>(), 0..200)) {
+        let result = pi_storage::ScanResult {
+            sum: keys.iter().map(|k| k.encode() as u128).sum(),
+            count: keys.len() as u64,
+        };
+        prop_assert_eq!(
+            i64::decode_sum(result),
+            Some(keys.iter().map(|&k| k as i128).sum::<i128>())
+        );
+    }
+
+    /// Prefix encode/decode is a bijection: every code round-trips, and
+    /// every prefix (empty, padded, non-ASCII, interior NULs) does too.
+    #[test]
+    fn str_prefix_bijection(bytes in prop::collection::vec(any::<u8>(), 0..16), code in any::<u64>()) {
+        let p = StrPrefix::from_bytes(&bytes);
+        prop_assert_eq!(StrPrefix::decode(p.encode()), p);
+        prop_assert_eq!(StrPrefix::decode(code).encode(), code);
+    }
+
+    /// Code order equals lexicographic byte order of the padded
+    /// prefixes, and truncation is order-compatible with full byte
+    /// strings: a strict code inequality implies the same strict
+    /// full-string inequality, and full-string order never inverts the
+    /// prefix order. Shared prefixes (including a string vs its own
+    /// extension, and the empty string vs anything) land in the Equal
+    /// branch.
+    #[test]
+    fn str_prefix_order_is_compatible_with_byte_order(
+        a in prop::collection::vec(any::<u8>(), 0..16),
+        b in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let (pa, pb) = (StrPrefix::from_bytes(&a), StrPrefix::from_bytes(&b));
+        prop_assert_eq!(pa.encode().cmp(&pb.encode()), pa.cmp(&pb));
+        match pa.encode().cmp(&pb.encode()) {
+            Ordering::Less => prop_assert!(a < b, "{:?} < {:?}", a, b),
+            Ordering::Greater => prop_assert!(a > b, "{:?} > {:?}", a, b),
+            // Tied codes: the full strings may still differ (shared
+            // prefix, NUL padding) — exactly the cases the tie-break
+            // layer resolves. Order between them must be decided past
+            // the prefix, i.e. the first STR_PREFIX_LEN padded bytes
+            // agree.
+            Ordering::Equal => {
+                let pad = |s: &[u8]| {
+                    let mut padded = [0u8; STR_PREFIX_LEN];
+                    let take = s.len().min(STR_PREFIX_LEN);
+                    padded[..take].copy_from_slice(&s[..take]);
+                    padded
+                };
+                prop_assert_eq!(pad(&a), pad(&b));
+            }
+        }
+    }
+
+    /// No prefix is globally unambiguous: every byte string shorter
+    /// than the prefix width ties with its own (distinct) NUL-extension,
+    /// and every string of full width or more ties with an extension.
+    /// This is exactly why full-string predicates always go through the
+    /// tie-break side path — there is no "exact prefix" fast path to
+    /// take.
+    #[test]
+    fn every_prefix_has_a_tying_distinct_string(a in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut ext = a.clone();
+        // Within the prefix width, extend with a NUL (pads identically);
+        // at or past it, any extension byte is truncated away.
+        ext.push(if a.len() < STR_PREFIX_LEN { 0 } else { b'x' });
+        prop_assert_ne!(&a, &ext);
+        prop_assert_eq!(
+            StrPrefix::from_bytes(&a).encode(),
+            StrPrefix::from_bytes(&ext).encode(),
+            "{:?} vs {:?}", a, ext
+        );
+    }
+}

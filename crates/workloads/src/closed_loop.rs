@@ -102,13 +102,37 @@ pub fn drive<F>(streams: &[ClientStream], batch_size: usize, submit: F) -> Close
 where
     F: Fn(usize, &[RangeQuery]) -> BatchOutcome + Sync,
 {
+    let items: Vec<(usize, &[RangeQuery])> = streams
+        .iter()
+        .map(|s| (s.client, s.queries.as_slice()))
+        .collect();
+    drive_items(&items, batch_size, submit)
+}
+
+/// The item-generic closed loop behind [`drive`]: each `(client, stream)`
+/// pair runs on its own OS thread, submitting `batch_size`-item chunks
+/// back to back. Typed key-domain workloads (float or string ranges from
+/// [`crate::domains`]) and mixed read/write streams drive the same loop
+/// as plain integer range queries.
+///
+/// # Panics
+/// Panics when `batch_size == 0`.
+pub fn drive_items<Q, F>(
+    streams: &[(usize, &[Q])],
+    batch_size: usize,
+    submit: F,
+) -> ClosedLoopReport
+where
+    Q: Sync,
+    F: Fn(usize, &[Q]) -> BatchOutcome + Sync,
+{
     assert!(batch_size > 0, "batch size must be positive");
     let served = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
     let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for stream in streams {
+        for &(client, stream) in streams {
             let submit = &submit;
             let served = &served;
             let rejected = &rejected;
@@ -117,10 +141,10 @@ where
                 // Per-client local buffer: one lock acquisition per client,
                 // not per batch, so latency accounting stays off the
                 // submission path.
-                let mut local = Vec::with_capacity(stream.queries.len() / batch_size + 1);
-                for batch in stream.queries.chunks(batch_size) {
+                let mut local = Vec::with_capacity(stream.len() / batch_size + 1);
+                for batch in stream.chunks(batch_size) {
                     let submitted = Instant::now();
-                    match submit(stream.client, batch) {
+                    match submit(client, batch) {
                         BatchOutcome::Served => {
                             local.push(submitted.elapsed());
                             served.fetch_add(batch.len(), Ordering::Relaxed)
@@ -183,6 +207,19 @@ mod tests {
             BatchOutcome::Served
         });
         assert_eq!(*sizes.lock().unwrap(), vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn drive_items_accepts_typed_streams() {
+        let a: Vec<(f64, f64)> = (0..25).map(|i| (i as f64, i as f64 + 1.0)).collect();
+        let b: Vec<(f64, f64)> = (0..15).map(|i| (-(i as f64), i as f64)).collect();
+        let streams = [(0usize, a.as_slice()), (1, b.as_slice())];
+        let report = drive_items(&streams, 10, |_client, batch: &[(f64, f64)]| {
+            assert!(!batch.is_empty() && batch.len() <= 10);
+            BatchOutcome::Served
+        });
+        assert_eq!(report.served, 40);
+        assert_eq!(report.rejected, 0);
     }
 
     #[test]

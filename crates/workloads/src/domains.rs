@@ -1,0 +1,209 @@
+//! Float and string key-domain workloads.
+//!
+//! The paper evaluates on integer keys; the serving stack opens float and
+//! string columns through order-preserving encodings
+//! (`pi_storage::encoding`). This module generates the data sets and
+//! query streams for those domains, mirroring [`crate::data`]'s contract:
+//! deterministic per seed, sized by parameters, with a uniform and a
+//! skewed variant of each distribution.
+//!
+//! * **Floats** — values over a symmetric domain `[-half, half)` so both
+//!   encoding branches (negative: all bits flipped; non-negative: sign
+//!   bit flipped) are exercised; the skewed variant concentrates 90% of
+//!   the mass in the middle tenth, like the paper's skewed integers.
+//! * **Strings** — lowercase words of bounded length; the skewed variant
+//!   gives 90% of the rows a shared hot prefix, which both drifts the
+//!   equi-depth shard weights *and* piles rows onto neighbouring (or,
+//!   for prefixes ≥ 8 bytes, identical) codes — the stress case for the
+//!   typed layer's exact-match tie-break path.
+//!
+//! Query streams are closed ranges in the key domain (`(low, high)` with
+//! `low <= high` under the domain's total order), generated independently
+//! of the data so selectivity varies the way served traffic does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Distribution;
+
+/// Generates `n` floats over the symmetric domain `[-half, half)`.
+///
+/// `Distribution::UniformRandom` draws uniformly over the whole domain;
+/// `Distribution::Skewed` puts 90% of the values in the middle tenth
+/// (straddling zero, so the sign-handling paths of the encoding stay
+/// hot).
+pub fn float_data(distribution: Distribution, n: usize, half: f64, seed: u64) -> Vec<f64> {
+    assert!(half > 0.0, "float domain half-width must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = match distribution {
+            Distribution::UniformRandom => rng.gen::<f64>(),
+            Distribution::Skewed => {
+                if rng.gen::<f64>() < 0.9 {
+                    // Middle tenth of the [0, 1) unit domain.
+                    0.45 + rng.gen::<f64>() * 0.1
+                } else {
+                    rng.gen::<f64>()
+                }
+            }
+        };
+        values.push(u * 2.0 * half - half);
+    }
+    values
+}
+
+/// Generates `count` float range queries over `[-half, half)`: each query
+/// is `width`-wide (as a fraction of the domain) with a uniformly random
+/// position.
+pub fn float_ranges(count: usize, half: f64, width: f64, seed: u64) -> Vec<(f64, f64)> {
+    assert!(half > 0.0, "float domain half-width must be positive");
+    assert!(
+        (0.0..=1.0).contains(&width),
+        "range width is a domain fraction, got {width}"
+    );
+    let span = 2.0 * half * width;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let low = rng.gen::<f64>() * (2.0 * half - span) - half;
+            (low, low + span)
+        })
+        .collect()
+}
+
+/// Length bounds of generated strings (inclusive).
+const STRING_LEN: std::ops::RangeInclusive<u64> = 1..=12;
+
+/// The hot prefix of the skewed string distribution. Ten bytes — longer
+/// than the 8-byte encoded prefix — so every hot row shares one code and
+/// boundary queries into the hot set exercise the exact-match tie-break
+/// path, not just the encoded scan.
+pub const HOT_PREFIX: &str = "progressiv";
+
+fn random_word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(STRING_LEN) as usize;
+    (0..len)
+        .map(|_| (b'a' + (rng.gen_range(0..26u64) as u8)) as char)
+        .collect()
+}
+
+/// Generates `n` lowercase strings.
+///
+/// `Distribution::UniformRandom` draws independent words of 1–12
+/// characters; `Distribution::Skewed` prefixes 90% of them with
+/// [`HOT_PREFIX`], concentrating the rows on one encoded code.
+pub fn string_data(distribution: Distribution, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let word = random_word(&mut rng);
+            match distribution {
+                Distribution::UniformRandom => word,
+                Distribution::Skewed => {
+                    if rng.gen::<f64>() < 0.9 {
+                        format!("{HOT_PREFIX}{word}")
+                    } else {
+                        word
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Generates `count` string range queries: bounds drawn from the same
+/// `distribution` as the data (so a skewed workload also *queries* into
+/// its hot prefix), ordered per pair.
+pub fn string_ranges(distribution: Distribution, count: usize, seed: u64) -> Vec<(String, String)> {
+    let bounds = string_data(distribution, 2 * count, seed ^ 0x5157_u64);
+    bounds
+        .chunks_exact(2)
+        .map(|pair| {
+            let (a, b) = (pair[0].clone(), pair[1].clone());
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_data_is_deterministic_and_in_domain() {
+        let a = float_data(Distribution::UniformRandom, 5_000, 1_000.0, 7);
+        let b = float_data(Distribution::UniformRandom, 5_000, 1_000.0, 7);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            float_data(Distribution::UniformRandom, 5_000, 1_000.0, 8)
+        );
+        assert!(a.iter().all(|v| (-1_000.0..1_000.0).contains(v)));
+        // Both signs are exercised (the two encoding branches).
+        assert!(a.iter().any(|&v| v < 0.0) && a.iter().any(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn skewed_floats_concentrate_in_the_middle_tenth() {
+        let v = float_data(Distribution::Skewed, 50_000, 500.0, 3);
+        let hot = v.iter().filter(|&&x| (-50.0..50.0).contains(&x)).count();
+        let fraction = hot as f64 / v.len() as f64;
+        assert!(
+            (0.85..0.96).contains(&fraction),
+            "hot fraction was {fraction}"
+        );
+    }
+
+    #[test]
+    fn float_ranges_are_ordered_and_sized() {
+        let q = float_ranges(200, 1_000.0, 0.05, 11);
+        assert_eq!(q.len(), 200);
+        for &(low, high) in &q {
+            assert!(low <= high);
+            assert!((high - low - 100.0).abs() < 1e-6, "width {}", high - low);
+            assert!((-1_000.0..=1_000.0).contains(&low));
+            assert!((-1_000.0..=1_000.0).contains(&high));
+        }
+    }
+
+    #[test]
+    fn string_data_is_deterministic_lowercase_and_bounded() {
+        let a = string_data(Distribution::UniformRandom, 2_000, 5);
+        assert_eq!(a, string_data(Distribution::UniformRandom, 2_000, 5));
+        assert!(a
+            .iter()
+            .all(|s| !s.is_empty() && s.len() <= 12 && s.bytes().all(|b| b.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn skewed_strings_share_the_hot_prefix() {
+        assert!(
+            HOT_PREFIX.len() >= 8,
+            "hot prefix must exceed the code width"
+        );
+        let v = string_data(Distribution::Skewed, 20_000, 9);
+        let hot = v.iter().filter(|s| s.starts_with(HOT_PREFIX)).count();
+        let fraction = hot as f64 / v.len() as f64;
+        assert!(
+            (0.85..0.95).contains(&fraction),
+            "hot fraction was {fraction}"
+        );
+    }
+
+    #[test]
+    fn string_ranges_are_ordered_and_follow_the_distribution() {
+        let q = string_ranges(Distribution::Skewed, 500, 13);
+        assert_eq!(q.len(), 500);
+        assert!(q.iter().all(|(low, high)| low <= high));
+        let into_hot = q
+            .iter()
+            .filter(|(low, high)| low.starts_with(HOT_PREFIX) || high.starts_with(HOT_PREFIX))
+            .count();
+        assert!(into_hot > 250, "skewed bounds must query the hot prefix");
+    }
+}

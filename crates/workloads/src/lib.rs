@@ -21,6 +21,9 @@
 //! * [`mixed`] — mixed read/write streams: range queries interleaved with
 //!   inserts, deletes and updates at a configurable write fraction, for
 //!   exercising mutation support on the serving stack.
+//! * [`domains`] — float and string key-domain generators (uniform and
+//!   skewed data, range-query streams) for the typed serving layer built
+//!   on order-preserving encodings.
 //!
 //! All generators are deterministic given a seed, and all sizes are
 //! parameters so the same code scales from unit tests to full experiment
@@ -43,6 +46,7 @@
 
 pub mod closed_loop;
 pub mod data;
+pub mod domains;
 pub mod mixed;
 pub mod multi_client;
 pub mod patterns;

@@ -200,7 +200,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
     /// Mirror of the real crate's `prelude::prop` module re-export.
     pub mod prop {
@@ -261,6 +261,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
 #[cfg(test)]
