@@ -28,6 +28,7 @@ use pi_core::budget::BudgetPolicy;
 use pi_core::mutation::Mutation;
 use pi_engine::typed::{TableKey, TypedColumnSpec, TypedExecutor, TypedQuery, TypedTable};
 use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
+use pi_obs::MetricsRegistry;
 use pi_sched::ServerConfig;
 use pi_workloads::closed_loop::{self, BatchOutcome, LatencyPercentiles};
 use pi_workloads::domains;
@@ -502,6 +503,94 @@ fn bench_typed_domains(
     });
 }
 
+/// One **instrumented** pass of the skewed-string configuration: a fresh
+/// `MetricsRegistry` is wired through table, executor and pool, and the
+/// engine's own convergence / phase metrics are sampled after every
+/// batch. Returns the `string_skewed_convergence` JSON object embedded
+/// in `BENCH_engine.json`: the ρ̄-vs-queries-served time series (how fast
+/// the progressive index converges under serving load), the per-phase
+/// latency breakdown (decompose / scan / merge / maintain), tie-break
+/// pressure and the cost model's prediction error. Runs outside the
+/// paired throughput rounds, so the instrumented sampling never skews
+/// the headline numbers. Refinement is purely query-driven here (fine
+/// δ, no maintenance): with the throughput groups' δ=0.25 the index
+/// converges before the first sample and the series is a flat 1.0.
+fn convergence_trace(params: BenchParams) -> String {
+    let registry = Arc::new(MetricsRegistry::new());
+    let table = Arc::new(
+        TypedTable::builder()
+            .metrics(Arc::clone(&registry))
+            .column(
+                TypedColumnSpec::new(
+                    "a",
+                    domains::string_data(Distribution::Skewed, params.rows, 83),
+                )
+                .with_shards(4)
+                .with_policy(BudgetPolicy::FixedDelta(0.002)),
+            )
+            .build(),
+    );
+    let executor = TypedExecutor::with_metrics(
+        table,
+        ExecutorConfig {
+            maintenance_steps: 0,
+            background_maintenance: false,
+            ..ExecutorConfig::default()
+        },
+        Arc::clone(&registry),
+    );
+    let stream = domains::string_ranges(Distribution::Skewed, params.queries_per_run(), 79);
+    let mut points = Vec::new();
+    for chunk in stream.chunks(10) {
+        let batch: Vec<TypedQuery<String>> = chunk
+            .iter()
+            .map(|(low, high)| TypedQuery::new("a", low.clone(), high.clone()))
+            .collect();
+        black_box(executor.execute_batch(&batch).expect("known column"));
+        let snap = registry.snapshot();
+        let shards = snap.gauges_with_prefix("engine.rho.a.").count().max(1);
+        let rho_sum: f64 = snap
+            .gauges_with_prefix("engine.rho.a.")
+            .map(|(_, v)| v)
+            .sum();
+        points.push(format!(
+            "[{}, {:.4}]",
+            snap.counter("executor.queries").unwrap_or(0),
+            rho_sum / shards as f64
+        ));
+    }
+    let snap = registry.snapshot();
+    let phases: Vec<String> = ["decompose", "scan", "merge", "maintain"]
+        .iter()
+        .map(|phase| {
+            let h = snap
+                .histogram(&format!("executor.phase.{phase}_ns"))
+                .cloned()
+                .unwrap_or_default();
+            format!(
+                "\"{phase}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+                 \"p99_us\": {:.1}}}",
+                h.count,
+                h.p50() as f64 / 1e3,
+                h.p95() as f64 / 1e3,
+                h.p99() as f64 / 1e3
+            )
+        })
+        .collect();
+    let cost_error = snap
+        .histogram("core.a.cost_error_pm")
+        .cloned()
+        .unwrap_or_default();
+    format!(
+        "{{\n    \"rho_vs_queries\": [{}],\n    \"phases\": {{{}}},\n    \
+         \"tie_break_hits\": {},\n    \"cost_error_pm_mean\": {:.1}\n  }}",
+        points.join(", "),
+        phases.join(", "),
+        snap.counter("engine.tie_break_hits").unwrap_or(0),
+        cost_error.mean()
+    )
+}
+
 /// Renders the results as `BENCH_engine.json`: queries/s per benchmark,
 /// grouped the way the ids are (`shards`, `delta`, `converged`, `server`,
 /// `mixed`, `float`, `string`). `queries_per_second` comes from the
@@ -509,8 +598,14 @@ fn bench_typed_domains(
 /// (see [`Paired`]); the fastest round rides along as
 /// `min_seconds_per_iter`, and each entry reports the median round's
 /// per-batch latency percentiles in microseconds (`p50_us`/`p95_us`/
-/// `p99_us`).
-fn write_json(c: &Criterion, latency: &[(String, LatencySummary)], params: BenchParams) {
+/// `p99_us`). A separate instrumented pass contributes the
+/// `string_skewed_convergence` object (see [`convergence_trace`]).
+fn write_json(
+    c: &Criterion,
+    latency: &[(String, LatencySummary)],
+    params: BenchParams,
+    trace: &str,
+) {
     let queries = params.queries_per_run() as f64;
     let mut entries = String::new();
     for (i, result) in c.results().iter().enumerate() {
@@ -545,7 +640,8 @@ fn write_json(c: &Criterion, latency: &[(String, LatencySummary)], params: Bench
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"rows\": {},\n  \
          \"clients\": {CLIENT_THREADS},\n  \"queries_per_client\": {},\n  \
-         \"results\": [\n{entries}\n  ]\n}}\n",
+         \"results\": [\n{entries}\n  ],\n  \
+         \"string_skewed_convergence\": {trace}\n}}\n",
         params.rows, params.queries_per_client
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -563,9 +659,12 @@ fn main() {
     bench_server_front_end(&c, &mut latency, params);
     bench_mixed_workload(&c, &mut latency, params);
     bench_typed_domains(&c, &mut latency, params);
+    // The instrumented convergence pass runs in both modes (smoke keeps
+    // the code path exercised) but only full runs persist it.
+    let trace = convergence_trace(params);
     if params.smoke {
         println!("\nsmoke iteration complete ({} results)", c.results().len());
     } else {
-        write_json(&c, &latency, params);
+        write_json(&c, &latency, params, &trace);
     }
 }

@@ -77,6 +77,7 @@ pub mod budget;
 pub mod cost_model;
 pub mod decision;
 pub mod index;
+pub mod metrics;
 pub mod mutation;
 pub mod quicksort;
 pub mod radix_lsd;
@@ -90,6 +91,7 @@ pub use budget::{BudgetController, BudgetPolicy};
 pub use cost_model::{CostConstants, CostModel};
 pub use decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
 pub use index::RangeIndex;
+pub use metrics::IndexMetrics;
 pub use mutation::{MutableConfig, MutableIndex, Mutation};
 pub use quicksort::ProgressiveQuicksort;
 pub use radix_lsd::ProgressiveRadixsortLsd;

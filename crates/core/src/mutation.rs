@@ -80,6 +80,7 @@ use pi_storage::{Column, Value};
 use crate::budget::BudgetPolicy;
 use crate::decision::Algorithm;
 use crate::index::RangeIndex;
+use crate::metrics::IndexMetrics;
 use crate::result::{IndexStatus, Phase, QueryResult};
 
 /// A single write against a mutable progressive index. The column is a
@@ -206,6 +207,10 @@ pub struct MutableIndex {
     /// Total merges completed (instrumentation: each one restarted the
     /// progressive lifecycle on a fresh snapshot).
     merges_completed: u64,
+    /// Optional observability sink: refinement steps, δ·N bytes moved,
+    /// merge steps and cost-model error. `None` records (and costs)
+    /// nothing.
+    metrics: Option<Arc<IndexMetrics>>,
 }
 
 impl MutableIndex {
@@ -232,7 +237,15 @@ impl MutableIndex {
             policy,
             config,
             merges_completed: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches (or detaches) an observability sink. See
+    /// [`crate::metrics::IndexMetrics`]; the engine shares one sink per
+    /// column across that column's shards.
+    pub fn set_metrics(&mut self, metrics: Option<Arc<IndexMetrics>>) {
+        self.metrics = metrics;
     }
 
     /// The algorithm running inside this index.
@@ -361,7 +374,12 @@ impl MutableIndex {
         let Some(merge) = &mut self.merge else {
             return false;
         };
-        if merge.step(&self.base, ops) {
+        let out_before = merge.out.len();
+        let finished = merge.step(&self.base, ops);
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_merge_step(merge.out.len() - out_before);
+        }
+        if finished {
             let merge = self.merge.take().expect("merge in flight");
             let column = Arc::new(Column::from_vec(merge.out));
             self.inner = (!column.is_empty())
@@ -383,7 +401,12 @@ impl MutableIndex {
         }
         if let Some(inner) = &mut self.inner {
             if !inner.is_converged() {
-                inner.query(1, 0);
+                // The paper's empty-query maintenance: a pure δ-slice of
+                // indexing work, observed like any other refinement step.
+                let result = inner.query(1, 0);
+                if let Some(metrics) = &self.metrics {
+                    metrics.observe_query(&result);
+                }
                 return true;
             }
         }
@@ -399,7 +422,21 @@ impl MutableIndex {
     /// merge step when a merge is in flight).
     pub fn query(&mut self, low: Value, high: Value) -> QueryResult {
         let base = match &mut self.inner {
-            Some(inner) => inner.query(low, high),
+            Some(inner) => match &self.metrics {
+                Some(metrics) => {
+                    // The cost-model error clock is feature-gated (the
+                    // branch const-folds away with `obs` off); the step /
+                    // bytes counters derive from the result and are not.
+                    let start = pi_obs::ENABLED.then(std::time::Instant::now);
+                    let result = inner.query(low, high);
+                    metrics.observe_query(&result);
+                    if let Some(start) = start {
+                        metrics.observe_cost_error(result.predicted_cost, start.elapsed());
+                    }
+                    result
+                }
+                None => inner.query(low, high),
+            },
             None => QueryResult::answer_only(ScanResult::EMPTY, Phase::Converged),
         };
         let mut composed = base.scan_result();

@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 
 use pi_core::budget::StepBudget;
 use pi_core::mutation::Mutation;
+use pi_obs::{Counter, Histogram, MetricsRegistry, ScopeTimer};
 use pi_sched::{plan_affinity, BatchExecutor, Job, Pool, PoolConfig, PoolStats};
 use pi_storage::scan::ScanResult;
 use pi_storage::Value;
@@ -125,6 +126,46 @@ impl ExecutorConfig {
     }
 }
 
+/// The executor's metric handles, registered under `executor.*` (see
+/// [`Executor::with_metrics`]). Counters are always live; the
+/// `phase.*_ns` histograms decompose where batch wall time goes and only
+/// fill when [`pi_obs::ENABLED`] is true.
+struct ExecutorObs {
+    /// Batches executed through [`Executor::execute_batch`].
+    batches: Arc<Counter>,
+    /// Individual queries inside those batches.
+    queries: Arc<Counter>,
+    /// Shard visits answered from the digest in O(1) (the covered-shard
+    /// shortcut) instead of a locked index probe.
+    digest_hits: Arc<Counter>,
+    /// Converged-cache invalidations: shards reopened for maintenance
+    /// because a mutation landed after they were observed converged.
+    shards_reopened: Arc<Counter>,
+    /// Batch framing: name resolution and per-shard sub-query routing.
+    decompose_ns: Arc<Histogram>,
+    /// Shard fan-out: pool dispatch plus every shard probe.
+    scan_ns: Arc<Histogram>,
+    /// Folding the partial results back into per-query answers.
+    merge_ns: Arc<Histogram>,
+    /// Background maintenance rounds (off the serving path).
+    maintain_ns: Arc<Histogram>,
+}
+
+impl ExecutorObs {
+    fn register(registry: &MetricsRegistry) -> Arc<ExecutorObs> {
+        Arc::new(ExecutorObs {
+            batches: registry.counter("executor.batches"),
+            queries: registry.counter("executor.queries"),
+            digest_hits: registry.counter("executor.digest_hits"),
+            shards_reopened: registry.counter("executor.shards_reopened"),
+            decompose_ns: registry.histogram("executor.phase.decompose_ns"),
+            scan_ns: registry.histogram("executor.phase.scan_ns"),
+            merge_ns: registry.histogram("executor.phase.merge_ns"),
+            maintain_ns: registry.histogram("executor.phase.maintain_ns"),
+        })
+    }
+}
+
 /// One (column, shard) work item of a batch: every sub-query of the batch
 /// that must visit this shard.
 struct ShardTask {
@@ -169,6 +210,9 @@ struct MaintenanceState {
     /// re-examination could latch the terminal state over an unfinished
     /// delta merge.
     reopened: AtomicU64,
+    /// Shared with the owning [`Executor`]; maintenance jobs time their
+    /// rounds and count cache invalidations through it.
+    obs: Option<Arc<ExecutorObs>>,
 }
 
 impl MaintenanceState {
@@ -203,6 +247,9 @@ impl MaintenanceState {
             }
             self.converged[at].store(false, Ordering::SeqCst);
             self.reopened.fetch_add(1, Ordering::SeqCst);
+            if let Some(obs) = &self.obs {
+                obs.shards_reopened.inc();
+            }
             column.take_shard_dirty(s);
         }
         let performed = column.advance_shard_by(s, steps);
@@ -311,6 +358,8 @@ pub struct Executor {
     /// saturated pool never accumulates a maintenance backlog.
     pending_maintenance: Arc<AtomicUsize>,
     pool: Pool,
+    /// The registry passed to [`Executor::with_metrics`], if any.
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Executor {
@@ -320,8 +369,32 @@ impl Executor {
     }
 
     /// Creates an executor with an explicit configuration, spawning its
-    /// persistent worker pool.
+    /// persistent worker pool. Records no metrics; see
+    /// [`Executor::with_metrics`].
     pub fn with_config(table: Arc<Table>, config: ExecutorConfig) -> Self {
+        Self::build(table, config, None)
+    }
+
+    /// Creates an executor whose `executor.*` metrics — batch/query
+    /// counters, digest-shortcut hits, converged-cache invalidations and
+    /// the per-phase `executor.phase.*_ns` timing decomposition — land in
+    /// `registry`, together with the worker pool's `sched.pool.*`
+    /// metrics. Pair with [`crate::table::TableBuilder::metrics`] (index
+    /// layer) and `pi_sched::Server::with_metrics` (serving layer) on the
+    /// same registry for a full-stack snapshot.
+    pub fn with_metrics(
+        table: Arc<Table>,
+        config: ExecutorConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        Self::build(table, config, Some(registry))
+    }
+
+    fn build(
+        table: Arc<Table>,
+        config: ExecutorConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
         let mut addresses = Vec::with_capacity(table.total_shards());
         let mut column_offsets = Vec::with_capacity(table.columns().len());
         let mut weights = Vec::with_capacity(table.total_shards());
@@ -337,6 +410,7 @@ impl Executor {
         let converged = (0..addresses.len())
             .map(|_| AtomicBool::new(false))
             .collect();
+        let obs = registry.as_deref().map(ExecutorObs::register);
         let maintenance = Arc::new(MaintenanceState {
             table: Arc::clone(&table),
             addresses,
@@ -344,6 +418,7 @@ impl Executor {
             converged,
             all_converged_at: AtomicU64::new(0),
             reopened: AtomicU64::new(0),
+            obs,
         });
         let idle_task = config.background_maintenance.then(|| {
             let maintenance = Arc::clone(&maintenance);
@@ -352,6 +427,7 @@ impl Executor {
         let pool = Pool::with_config(PoolConfig {
             workers,
             idle_task,
+            metrics: registry.clone(),
             ..PoolConfig::default()
         });
         Executor {
@@ -362,6 +438,7 @@ impl Executor {
             column_offsets,
             pending_maintenance: Arc::new(AtomicUsize::new(0)),
             pool,
+            registry,
         }
     }
 
@@ -379,6 +456,12 @@ impl Executor {
     /// per worker, caller-helped jobs, idle maintenance cycles).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The metrics registry this executor reports into (`None` unless
+    /// built through [`Executor::with_metrics`]).
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
     }
 
     fn flat_id(&self, column: usize, shard: usize) -> usize {
@@ -399,18 +482,25 @@ impl Executor {
     /// default) the pool's idle cycles add batched maintenance on top
     /// whenever serving leaves them free.
     pub fn execute_batch(&self, queries: &[TableQuery]) -> Result<Vec<ScanResult>, EngineError> {
+        let obs = self.maintenance.obs.as_deref();
         // Resolve names and record workload statistics up front, so an
         // unknown column fails the whole batch before any work happens.
+        let decompose_timer = obs.map(|o| ScopeTimer::new(&o.decompose_ns));
         let mut resolved = Vec::with_capacity(queries.len());
         for q in queries {
-            let column = self
-                .table
-                .column_index(&q.column)
-                .ok_or_else(|| EngineError::UnknownColumn(q.column.clone()))?;
+            let column = self.table.column_index(&q.column).ok_or_else(|| {
+                EngineError::UnknownColumn(q.column.clone())
+                // (The scope timer records the failed framing too — an
+                // error batch still spent the time.)
+            })?;
             resolved.push((column, q.low, q.high));
         }
         for &(column, low, high) in &resolved {
             self.table.columns()[column].stats().record(low, high);
+        }
+        if let Some(obs) = obs {
+            obs.batches.inc();
+            obs.queries.add(queries.len() as u64);
         }
 
         // Decompose the batch into per-(column, shard) sub-query lists.
@@ -432,6 +522,9 @@ impl Executor {
                 // shards. They stay unmarked in `touched`, so maintenance
                 // remains eligible to converge them.
                 if let Some(total) = sharded.covered_total(shard, low, high) {
+                    if let Some(obs) = obs {
+                        obs.digest_hits.inc();
+                    }
                     results[query_idx] = results[query_idx].merge(total);
                     continue;
                 }
@@ -448,10 +541,17 @@ impl Executor {
                 tasks[task].sub_queries.push((query_idx, low, high));
             }
         }
+        drop(decompose_timer);
 
-        for (query_idx, partial) in self.run_shard_tasks(tasks) {
+        let scan_timer = obs.map(|o| ScopeTimer::new(&o.scan_ns));
+        let partials = self.run_shard_tasks(tasks);
+        drop(scan_timer);
+
+        let merge_timer = obs.map(|o| ScopeTimer::new(&o.merge_ns));
+        for (query_idx, partial) in partials {
             results[query_idx] = results[query_idx].merge(partial);
         }
+        drop(merge_timer);
 
         // Amortize the batch's maintenance budget across shards the batch
         // did not touch, off the serving path.
@@ -562,7 +662,12 @@ impl Executor {
             affinity,
             Box::new(move || {
                 let _guard = guard;
+                let timer = maintenance
+                    .obs
+                    .as_ref()
+                    .map(|o| ScopeTimer::new(&o.maintain_ns));
                 maintenance.run_round(steps, &touched);
+                drop(timer);
             }),
         );
     }

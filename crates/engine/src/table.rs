@@ -22,8 +22,10 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use pi_core::budget::BudgetPolicy;
 use pi_core::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
+use pi_core::metrics::IndexMetrics;
 use pi_core::mutation::{MutableIndex, Mutation};
 use pi_core::result::{IndexStatus, Phase};
+use pi_obs::{Gauge, MetricsRegistry};
 use pi_storage::scan::ScanResult;
 use pi_storage::shard::RangePartition;
 use pi_storage::{Column, Value};
@@ -147,6 +149,12 @@ impl Shard {
     pub fn live_values(&self) -> Vec<Value> {
         self.index.live_values()
     }
+
+    /// Attaches (or detaches) the shared per-column metric handles; see
+    /// [`MutableIndex::set_metrics`].
+    fn set_metrics(&mut self, metrics: Option<Arc<IndexMetrics>>) {
+        self.index.set_metrics(metrics);
+    }
 }
 
 /// Per-shard summary maintained under mutations: the shard's value bounds
@@ -231,6 +239,13 @@ pub struct ShardedColumn {
     /// against it so a mutation invalidates them race-free.
     mutation_epoch: AtomicU64,
     stats: WorkloadStats,
+    /// Shared `core.<column>.*` counters, attached to every shard's index
+    /// (see [`TableBuilder::metrics`]); `None` costs nothing.
+    index_metrics: Option<Arc<IndexMetrics>>,
+    /// Per-shard convergence gauges `engine.rho.<column>.<shard>` — the
+    /// paper's ρ (fraction of the data fully indexed), refreshed whenever
+    /// a shard performs indexing work or absorbs a mutation.
+    rho: Option<Vec<Arc<Gauge>>>,
 }
 
 impl ShardedColumn {
@@ -302,6 +317,51 @@ impl ShardedColumn {
             shard_dirty,
             mutation_epoch: AtomicU64::new(0),
             stats: WorkloadStats::new(),
+            index_metrics: None,
+            rho: None,
+        }
+    }
+
+    /// Registers this column's convergence and indexing-work metrics in
+    /// `registry` and attaches them to every shard:
+    ///
+    /// * `core.<column>.*` — refinement steps, δ·N bytes moved, merge
+    ///   steps and cost-model error, aggregated over the shards (see
+    ///   [`IndexMetrics::register`]).
+    /// * `engine.rho.<column>.<shard>` — each shard's ρ, the paper's
+    ///   convergence measure ([`IndexStatus::fraction_indexed`]).
+    ///
+    /// Called by [`TableBuilder::build`] before the table is shared.
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let scope = pi_obs::sanitize_component(&self.name);
+        self.index_metrics = Some(IndexMetrics::register(registry, &self.name));
+        self.rho = Some(
+            (0..self.shards.len())
+                .map(|s| registry.gauge(&format!("engine.rho.{scope}.{s}")))
+                .collect(),
+        );
+        self.reattach_metrics();
+    }
+
+    /// Pushes the column's metric handles into every shard and seeds the
+    /// ρ gauges from the current statuses (also used after a re-balance,
+    /// which rebuilds the shards from scratch).
+    fn reattach_metrics(&mut self) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.lock().expect("shard lock poisoned");
+            guard.set_metrics(self.index_metrics.clone());
+            if let Some(rho) = &self.rho {
+                rho[s].set(guard.status().fraction_indexed);
+            }
+        }
+    }
+
+    /// Refreshes shard `shard`'s ρ gauge from a held shard guard; no-op
+    /// without attached metrics.
+    #[inline]
+    fn note_rho(&self, shard: usize, guard: &Shard) {
+        if let Some(rho) = &self.rho {
+            rho[shard].set(guard.status().fraction_indexed);
         }
     }
 
@@ -396,10 +456,10 @@ impl ShardedColumn {
     /// Used by the executor's parallel fan-out; prefer
     /// [`ShardedColumn::query`] for the serial path.
     pub fn query_shard(&self, shard: usize, low: Value, high: Value) -> ScanResult {
-        self.shards[shard]
-            .lock()
-            .expect("shard lock poisoned")
-            .query(low, high)
+        let mut guard = self.shards[shard].lock().expect("shard lock poisoned");
+        let result = guard.query(low, high);
+        self.note_rho(shard, &guard);
+        result
     }
 
     /// O(1) answer for shard `shard` when the predicate covers every value
@@ -461,6 +521,9 @@ impl ShardedColumn {
         while performed < steps && guard.advance() {
             performed += 1;
         }
+        if performed > 0 {
+            self.note_rho(shard, &guard);
+        }
         performed
     }
 
@@ -502,6 +565,8 @@ impl ShardedColumn {
             }
             self.shard_dirty[shard].store(true, Ordering::SeqCst);
             self.mutation_epoch.fetch_add(1, Ordering::SeqCst);
+            // Pending deltas lower the shard's effective ρ until merged.
+            self.note_rho(shard, &guard);
         }
         drop(guard);
         applied
@@ -571,6 +636,8 @@ impl ShardedColumn {
         }
         let shards = self.partition.shard_count();
         let partition = RangePartition::equi_depth(&live, shards);
+        let index_metrics = self.index_metrics.take();
+        let rho = self.rho.take();
         *self = Self::build(
             std::mem::take(&mut self.name),
             Column::from_vec(live),
@@ -579,6 +646,11 @@ impl ShardedColumn {
             self.policy,
             self.distribution,
         );
+        // The rebuilt shards keep reporting into the same metric family
+        // (same shard count, so the gauge handles stay valid).
+        self.index_metrics = index_metrics;
+        self.rho = rho;
+        self.reattach_metrics();
     }
 
     /// Per-shard status snapshots.
@@ -654,12 +726,23 @@ pub struct Table {
 #[derive(Default)]
 pub struct TableBuilder {
     specs: Vec<ColumnSpec>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl TableBuilder {
     /// Adds a column.
     pub fn column(mut self, spec: ColumnSpec) -> Self {
         self.specs.push(spec);
+        self
+    }
+
+    /// Registers every column's index metrics in `registry`: per-column
+    /// `core.<column>.*` counters (refinement steps, bytes moved, merge
+    /// steps, cost-model error) shared across the column's shards, and
+    /// per-shard `engine.rho.<column>.<shard>` convergence gauges.
+    /// Without this call the table records nothing and pays nothing.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -672,7 +755,10 @@ impl TableBuilder {
         let mut columns = Vec::with_capacity(self.specs.len());
         let mut by_name = HashMap::new();
         for spec in self.specs {
-            let column = ShardedColumn::from_spec(spec);
+            let mut column = ShardedColumn::from_spec(spec);
+            if let Some(registry) = &self.metrics {
+                column.attach_metrics(registry);
+            }
             let previous = by_name.insert(column.name().to_string(), columns.len());
             assert!(
                 previous.is_none(),

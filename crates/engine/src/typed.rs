@@ -88,6 +88,7 @@ use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use pi_core::budget::BudgetPolicy;
 use pi_core::mutation::Mutation;
+use pi_obs::{Counter, MetricsRegistry};
 use pi_storage::encoding::OrderedKey;
 use pi_storage::scan::ScanResult;
 use pi_storage::StrPrefix;
@@ -309,16 +310,24 @@ pub struct TypedTable<K: TableKey> {
     /// Per-column tie-break side tables; populated only for
     /// prefix-encoded key domains.
     ties: HashMap<String, RwLock<TieTable<K>>>,
+    /// Queries whose answer needed a tie-break correction (a predicate
+    /// boundary's truncated code tied rows outside the typed bounds) —
+    /// `engine.tie_break_hits` when metrics are attached.
+    tie_hits: Option<Arc<Counter>>,
 }
 
 /// Builder for [`TypedTable`].
 pub struct TypedTableBuilder<K: TableKey> {
     specs: Vec<TypedColumnSpec<K>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<K: TableKey> Default for TypedTableBuilder<K> {
     fn default() -> Self {
-        TypedTableBuilder { specs: Vec::new() }
+        TypedTableBuilder {
+            specs: Vec::new(),
+            metrics: None,
+        }
     }
 }
 
@@ -326,6 +335,16 @@ impl<K: TableKey> TypedTableBuilder<K> {
     /// Adds a typed column.
     pub fn column(mut self, spec: TypedColumnSpec<K>) -> Self {
         self.specs.push(spec);
+        self
+    }
+
+    /// Registers metrics in `registry`: the inner table's per-column
+    /// `core.<column>.*` / `engine.rho.<column>.<shard>` families (see
+    /// [`crate::table::TableBuilder::metrics`]) plus
+    /// `engine.tie_break_hits`, counting queries whose answer took the
+    /// prefix-encoded tie-break side path.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -338,6 +357,13 @@ impl<K: TableKey> TypedTableBuilder<K> {
     /// Panics on duplicate column names (like [`Table::builder`]).
     pub fn build(self) -> TypedTable<K> {
         let mut builder = Table::builder();
+        if let Some(registry) = &self.metrics {
+            builder = builder.metrics(Arc::clone(registry));
+        }
+        let tie_hits = self
+            .metrics
+            .as_ref()
+            .map(|registry| registry.counter("engine.tie_break_hits"));
         let mut ties = HashMap::new();
         for spec in self.specs {
             if K::PREFIX_ENCODED {
@@ -365,6 +391,7 @@ impl<K: TableKey> TypedTableBuilder<K> {
         TypedTable {
             inner: Arc::new(builder.build()),
             ties,
+            tie_hits,
         }
     }
 }
@@ -392,15 +419,25 @@ fn boundary_overcount<K: TableKey>(table: &TieTable<K>, low: &K, high: &K) -> u6
 }
 
 /// Builds the typed answer from a raw encoded scan, applying prefix
-/// tie-break corrections when a side table is present.
+/// tie-break corrections when a side table is present. A non-zero
+/// correction bumps `hits` (the `engine.tie_break_hits` counter).
 fn typed_answer<K: TableKey>(
     raw: ScanResult,
     ties: Option<&TieTable<K>>,
     low: &K,
     high: &K,
+    hits: Option<&Counter>,
 ) -> TypedResult<K> {
     let count = match ties {
-        Some(table) => raw.count - boundary_overcount(table, low, high),
+        Some(table) => {
+            let over = boundary_overcount(table, low, high);
+            if over > 0 {
+                if let Some(hits) = hits {
+                    hits.inc();
+                }
+            }
+            raw.count - over
+        }
         None => raw.count,
     };
     TypedResult {
@@ -437,7 +474,13 @@ impl<K: TableKey> TypedTable<K> {
         }
         let guard = self.read_ties(column);
         let raw = sharded.query(low.to_code(), high.to_code());
-        Some(typed_answer(raw, guard.as_deref(), low, high))
+        Some(typed_answer(
+            raw,
+            guard.as_deref(),
+            low,
+            high,
+            self.tie_hits.as_deref(),
+        ))
     }
 
     /// Applies a batch of typed mutations to `column` in request order,
@@ -570,6 +613,18 @@ impl<K: TableKey> TypedExecutor<K> {
         TypedExecutor { table, executor }
     }
 
+    /// Creates a typed executor reporting `executor.*` and `sched.pool.*`
+    /// metrics into `registry` (see [`Executor::with_metrics`]). Pair
+    /// with [`TypedTableBuilder::metrics`] on the same registry.
+    pub fn with_metrics(
+        table: Arc<TypedTable<K>>,
+        config: ExecutorConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let executor = Executor::with_metrics(Arc::clone(table.inner()), config, registry);
+        TypedExecutor { table, executor }
+    }
+
     /// The typed table this executor serves.
     pub fn table(&self) -> &Arc<TypedTable<K>> {
         &self.table
@@ -641,7 +696,13 @@ impl<K: TableKey> TypedExecutor<K> {
                         .iter()
                         .find(|(name, _)| *name == q.column)
                         .map(|(_, guard)| &**guard);
-                    typed_answer(raw[*at], ties, &q.low, &q.high)
+                    typed_answer(
+                        raw[*at],
+                        ties,
+                        &q.low,
+                        &q.high,
+                        self.table.tie_hits.as_deref(),
+                    )
                 }
             })
             .collect();

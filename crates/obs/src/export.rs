@@ -1,0 +1,560 @@
+//! Snapshot export: JSON, Prometheus-style text, and a schema checker.
+//!
+//! The build environment is offline, so there is no `serde`; the JSON
+//! emitter assembles strings directly (names are validated dotted
+//! identifiers, so escaping is trivial) and [`validate_snapshot_json`]
+//! is a small recursive-descent JSON parser + shape check used by CI to
+//! guarantee the emitted document stays machine-readable and keeps its
+//! schema across refactors.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+
+/// Formats an `f64` as a JSON-safe number (finite shortest-round-trip;
+/// non-finite sanitizes to 0, which [`crate::Gauge`] already enforces on
+/// the write side).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a metric name for a JSON string literal. Names are validated
+/// to `[a-z0-9_.]` at registration, but escape defensively anyway.
+fn json_string(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets()
+        .map(|(bound, count)| format!("[{bound},{count}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        json_f64(h.mean()),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.p999(),
+        buckets.join(",")
+    )
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   { "name": 123, ... },
+    ///   "gauges":     { "name": 0.5, ... },
+    ///   "histograms": { "name": { "count": n, "sum": s, "mean": m,
+    ///                             "p50": .., "p95": .., "p99": .., "p999": ..,
+    ///                             "buckets": [[bound, count], ...] }, ... }
+    /// }
+    /// ```
+    ///
+    /// Keys are in sorted (BTree) order, so output is deterministic.
+    /// [`validate_snapshot_json`] checks this exact shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_string(name), value);
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_string(name), json_f64(*value));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_string(name), histogram_json(hist));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serializes the snapshot in Prometheus exposition text format.
+    /// Dots in metric names become underscores (`server.queue_wait_ns` →
+    /// `server_queue_wait_ns`); histograms emit cumulative `_bucket{le=..}`
+    /// series plus `_sum` and `_count`, the standard histogram layout.
+    pub fn to_prometheus(&self) -> String {
+        let flat = |name: &str| name.replace('.', "_");
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = flat(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = flat(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", json_f64(*value));
+        }
+        for (name, hist) in &self.histograms {
+            let n = flat(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{n}_sum {}", hist.sum);
+            let _ = writeln!(out, "{n}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser + schema check (the CI snapshot-schema guard).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — only what the checker needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {word}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (names are ASCII, but stay
+                    // correct for arbitrary payloads).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage after document"));
+    }
+    Ok(value)
+}
+
+fn as_object<'a>(value: &'a Json, what: &str) -> Result<&'a BTreeMap<String, Json>, String> {
+    match value {
+        Json::Object(map) => Ok(map),
+        _ => Err(format!("{what} must be an object")),
+    }
+}
+
+fn as_number(value: &Json, what: &str) -> Result<f64, String> {
+    match value {
+        Json::Number(n) => Ok(*n),
+        _ => Err(format!("{what} must be a number")),
+    }
+}
+
+fn check_count(value: &Json, what: &str) -> Result<(), String> {
+    let n = as_number(value, what)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    Ok(())
+}
+
+/// Validates that `text` is well-formed JSON in the exact
+/// [`MetricsSnapshot::to_json`] schema: top-level `counters` / `gauges` /
+/// `histograms` objects, integer counters, numeric gauges, and histogram
+/// records carrying `count`, `sum`, `mean`, `p50`, `p95`, `p99`, `p999`
+/// and a `buckets` array of `[bound, count]` pairs with non-decreasing
+/// bounds and bucket counts summing to `count`.
+///
+/// ```
+/// let registry = pi_obs::MetricsRegistry::new();
+/// registry.counter("a.b").add(7);
+/// registry.histogram("a.lat_ns").record(1500);
+/// let json = registry.snapshot().to_json();
+/// pi_obs::validate_snapshot_json(&json).expect("schema holds");
+/// assert!(pi_obs::validate_snapshot_json("{\"counters\":3}").is_err());
+/// ```
+pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    let top = as_object(&root, "snapshot")?;
+    for section in ["counters", "gauges", "histograms"] {
+        if !top.contains_key(section) {
+            return Err(format!("missing top-level section {section:?}"));
+        }
+    }
+    for (key, _) in top.iter() {
+        if !matches!(key.as_str(), "counters" | "gauges" | "histograms") {
+            return Err(format!("unexpected top-level key {key:?}"));
+        }
+    }
+    for (name, value) in as_object(&top["counters"], "counters")? {
+        check_count(value, &format!("counter {name:?}"))?;
+    }
+    for (name, value) in as_object(&top["gauges"], "gauges")? {
+        as_number(value, &format!("gauge {name:?}"))?;
+    }
+    for (name, value) in as_object(&top["histograms"], "histograms")? {
+        let hist = as_object(value, &format!("histogram {name:?}"))?;
+        for field in ["count", "sum", "p50", "p95", "p99", "p999"] {
+            let value = hist
+                .get(field)
+                .ok_or_else(|| format!("histogram {name:?} missing {field:?}"))?;
+            check_count(value, &format!("histogram {name:?} field {field:?}"))?;
+        }
+        as_number(
+            hist.get("mean")
+                .ok_or_else(|| format!("histogram {name:?} missing \"mean\""))?,
+            &format!("histogram {name:?} mean"),
+        )?;
+        let buckets = match hist
+            .get("buckets")
+            .ok_or_else(|| format!("histogram {name:?} missing \"buckets\""))?
+        {
+            Json::Array(items) => items,
+            _ => return Err(format!("histogram {name:?} buckets must be an array")),
+        };
+        let mut total = 0.0f64;
+        let mut last_bound = -1.0f64;
+        for pair in buckets {
+            let (bound, count) = match pair {
+                Json::Array(xs) if xs.len() == 2 => (
+                    as_number(&xs[0], "bucket bound")?,
+                    as_number(&xs[1], "bucket count")?,
+                ),
+                _ => {
+                    return Err(format!(
+                        "histogram {name:?} buckets must be [bound, count] pairs"
+                    ))
+                }
+            };
+            if bound <= last_bound {
+                return Err(format!("histogram {name:?} bucket bounds must increase"));
+            }
+            last_bound = bound;
+            total += count;
+        }
+        let expected = as_number(&hist["count"], "count")?;
+        if total != expected {
+            return Err(format!(
+                "histogram {name:?} bucket counts sum to {total}, count says {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn populated() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry.counter("server.accepted").add(128);
+        registry.counter("server.rejected").add(3);
+        registry.gauge("engine.rho.ra.0").set(0.625);
+        registry.gauge("sched.pool.queue_depth").set_u64(4);
+        let h = registry.histogram("server.queue_wait_ns");
+        for v in [250u64, 1_000, 1_000, 40_000, 2_000_000] {
+            h.record(v);
+        }
+        registry
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_validator() {
+        let json = populated().snapshot().to_json();
+        validate_snapshot_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"server.accepted\":128"));
+        assert!(json.contains("\"engine.rho.ra.0\":0.625"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let json = MetricsRegistry::new().snapshot().to_json();
+        assert_eq!(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+        validate_snapshot_json(&json).expect("empty snapshot validates");
+    }
+
+    #[test]
+    fn validator_rejects_shape_violations() {
+        assert!(validate_snapshot_json("not json").is_err());
+        assert!(validate_snapshot_json("{}").is_err(), "missing sections");
+        assert!(
+            validate_snapshot_json("{\"counters\":{},\"gauges\":{},\"histograms\":{},\"x\":1}")
+                .is_err(),
+            "unknown section"
+        );
+        assert!(
+            validate_snapshot_json("{\"counters\":{\"a\":-1},\"gauges\":{},\"histograms\":{}}")
+                .is_err(),
+            "negative counter"
+        );
+        assert!(
+            validate_snapshot_json(
+                "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":1}}}"
+            )
+            .is_err(),
+            "histogram missing fields"
+        );
+        let inconsistent = "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\
+             \"count\":5,\"sum\":10,\"mean\":2,\"p50\":2,\"p95\":2,\"p99\":2,\"p999\":2,\
+             \"buckets\":[[2,3]]}}}";
+        assert!(
+            validate_snapshot_json(inconsistent).is_err(),
+            "bucket sum must match count"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let text = populated().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE server_accepted counter"));
+        assert!(text.contains("server_accepted 128"));
+        assert!(text.contains("# TYPE engine_rho_ra_0 gauge"));
+        assert!(text.contains("# TYPE server_queue_wait_ns histogram"));
+        assert!(text.contains("server_queue_wait_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("server_queue_wait_ns_count 5"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+        {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "cumulative bucket counts must be monotone");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = r#"{"a\n\"b":[1,2.5,-3e2,true,false,null,{"k":"A"}]}"#;
+        let parsed = parse_json(doc).expect("parses");
+        match parsed {
+            Json::Object(map) => {
+                let items = match &map["a\n\"b"] {
+                    Json::Array(xs) => xs,
+                    other => panic!("expected array, got {other:?}"),
+                };
+                assert_eq!(items.len(), 7);
+                assert_eq!(items[2], Json::Number(-300.0));
+                assert_eq!(
+                    items[6],
+                    Json::Object(BTreeMap::from([(
+                        "k".to_string(),
+                        Json::String("A".to_string())
+                    )]))
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

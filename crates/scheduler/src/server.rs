@@ -27,11 +27,19 @@
 //!   (subsequent submits fail with [`SubmitError::ShutDown`]), lets the
 //!   dispatchers drain every already-accepted submission, and joins them.
 //!   Every accepted ticket is always resolved.
+//! * **Observability.** Admission, execution and coalescing land in a
+//!   [`pi_obs::MetricsRegistry`] under `server.*` names (see
+//!   [`Server::with_metrics`]); [`Server::stats`] is a consistent read of
+//!   those metrics plus the queue depth under one lock. Clock-based
+//!   metrics (queue wait, ticket latency) vanish when the `obs` feature
+//!   is off.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use pi_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// A batch-executing backend the server can serve. `pi-engine`'s
 /// `Executor` is the canonical implementation; tests use mocks.
@@ -122,7 +130,11 @@ impl Default for ServerConfig {
     }
 }
 
-/// Aggregate serving counters (monotonic since server start).
+/// Aggregate serving counters (monotonic since server start, except
+/// `queue_depth` which is the instantaneous depth). Produced by
+/// [`Server::stats`] as one consistent snapshot: the admission counters
+/// and the queue depth are read under the same queue lock that guards
+/// admission, so they cannot disagree mid-read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Submissions accepted into the queue.
@@ -136,6 +148,61 @@ pub struct ServerStats {
     pub served_requests: u64,
     /// Background-maintenance steps performed from idle cycles.
     pub maintenance_steps: u64,
+    /// Dispatcher runs that combined two or more submissions into one
+    /// engine batch.
+    pub coalesced_batches: u64,
+    /// Submissions waiting in the admission queue right now (excluding
+    /// in-flight batches), read under the same lock as the counters.
+    pub queue_depth: u64,
+}
+
+/// The server's metric handles, registered under `server.*` in the
+/// registry the server was built with. Counters/gauges are always live
+/// (they back [`ServerStats`]); the `_ns` histograms only receive
+/// samples when [`pi_obs::ENABLED`] is true.
+struct ServerObs {
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    executed_batches: Arc<Counter>,
+    served_requests: Arc<Counter>,
+    maintenance_steps: Arc<Counter>,
+    coalesced_batches: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    /// Requests per delivered engine batch (after coalescing).
+    coalesced_size: Arc<Histogram>,
+    /// Enqueue → dispatcher pop, nanoseconds. Gated on the `obs` feature.
+    queue_wait_ns: Arc<Histogram>,
+    /// Enqueue → ticket fulfilled, nanoseconds. Gated on the `obs`
+    /// feature.
+    ticket_latency_ns: Arc<Histogram>,
+}
+
+impl ServerObs {
+    fn register(registry: &MetricsRegistry) -> ServerObs {
+        ServerObs {
+            accepted: registry.counter("server.accepted"),
+            rejected: registry.counter("server.rejected"),
+            executed_batches: registry.counter("server.executed_batches"),
+            served_requests: registry.counter("server.served_requests"),
+            maintenance_steps: registry.counter("server.maintenance_steps"),
+            coalesced_batches: registry.counter("server.coalesced_batches"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            coalesced_size: registry.histogram("server.coalesced_size"),
+            queue_wait_ns: registry.histogram("server.queue_wait_ns"),
+            ticket_latency_ns: registry.histogram("server.ticket_latency_ns"),
+        }
+    }
+
+    /// Records enqueue-to-fulfilment latency for one resolved ticket.
+    #[inline]
+    fn note_ticket_latency(&self, enqueued_at: Option<Instant>) {
+        if pi_obs::ENABLED {
+            if let Some(enqueued_at) = enqueued_at {
+                self.ticket_latency_ns
+                    .record_duration(enqueued_at.elapsed());
+            }
+        }
+    }
 }
 
 /// One-shot handle to a submission's eventual result.
@@ -240,6 +307,9 @@ impl<E: BatchExecutor> Ticket<E> {
 struct Submission<E: BatchExecutor> {
     requests: Vec<E::Request>,
     slot: Arc<Slot<E>>,
+    /// Admission time; `Some` only when [`pi_obs::ENABLED`] (the clock
+    /// call is part of the gated cost).
+    enqueued_at: Option<Instant>,
 }
 
 struct ServerShared<E: BatchExecutor> {
@@ -251,11 +321,8 @@ struct ServerShared<E: BatchExecutor> {
     /// Wakes blocked `submit` callers (space freed / shutdown).
     space: Condvar,
     shutdown: AtomicBool,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    executed_batches: AtomicU64,
-    served_requests: AtomicU64,
-    maintenance_steps: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    obs: ServerObs,
 }
 
 impl<E: BatchExecutor> ServerShared<E> {
@@ -272,12 +339,14 @@ impl<E: BatchExecutor> ServerShared<E> {
     fn deliver(&self, submission: Submission<E>) {
         match self.execute_caught(&submission.requests) {
             Some(result) => {
-                self.executed_batches.fetch_add(1, Ordering::Relaxed);
+                self.obs.executed_batches.inc();
                 if result.is_ok() {
-                    self.served_requests
-                        .fetch_add(submission.requests.len() as u64, Ordering::Relaxed);
+                    self.obs
+                        .served_requests
+                        .add(submission.requests.len() as u64);
                 }
                 submission.slot.fulfil(result);
+                self.obs.note_ticket_latency(submission.enqueued_at);
             }
             None => submission.slot.poison(),
         }
@@ -288,6 +357,11 @@ impl<E: BatchExecutor> ServerShared<E> {
     /// per-submission execution when the combined batch fails, so one bad
     /// request only fails its own ticket.
     fn deliver_coalesced(&self, submissions: Vec<Submission<E>>) {
+        let total: usize = submissions.iter().map(|s| s.requests.len()).sum();
+        self.obs.coalesced_size.record(total as u64);
+        if submissions.len() > 1 {
+            self.obs.coalesced_batches.inc();
+        }
         if submissions.len() == 1 {
             let submission = submissions.into_iter().next().expect("len checked");
             self.deliver(submission);
@@ -296,10 +370,12 @@ impl<E: BatchExecutor> ServerShared<E> {
         let mut sizes = Vec::with_capacity(submissions.len());
         let mut batch = Vec::new();
         let mut slots = Vec::with_capacity(submissions.len());
+        let mut stamps = Vec::with_capacity(submissions.len());
         for submission in submissions {
             sizes.push(submission.requests.len());
             batch.extend(submission.requests);
             slots.push(submission.slot);
+            stamps.push(submission.enqueued_at);
         }
         match self.execute_caught(&batch) {
             None => {
@@ -311,9 +387,8 @@ impl<E: BatchExecutor> ServerShared<E> {
                 }
             }
             Some(Ok(mut responses)) => {
-                self.executed_batches.fetch_add(1, Ordering::Relaxed);
-                self.served_requests
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.obs.executed_batches.inc();
+                self.obs.served_requests.add(batch.len() as u64);
                 debug_assert_eq!(
                     responses.len(),
                     batch.len(),
@@ -322,6 +397,9 @@ impl<E: BatchExecutor> ServerShared<E> {
                 for (size, slot) in sizes.iter().zip(&slots).rev() {
                     let tail = responses.split_off(responses.len() - size);
                     slot.fulfil(Ok(tail));
+                }
+                for stamp in stamps {
+                    self.obs.note_ticket_latency(stamp);
                 }
             }
             Some(Err(_)) => {
@@ -334,8 +412,12 @@ impl<E: BatchExecutor> ServerShared<E> {
                     parts.push(tail);
                 }
                 parts.reverse();
-                for (requests, slot) in parts.into_iter().zip(slots) {
-                    self.deliver(Submission { requests, slot });
+                for ((requests, slot), enqueued_at) in parts.into_iter().zip(slots).zip(stamps) {
+                    self.deliver(Submission {
+                        requests,
+                        slot,
+                        enqueued_at,
+                    });
                 }
             }
         }
@@ -360,6 +442,7 @@ impl<E: BatchExecutor> ServerShared<E> {
                         break;
                     }
                 }
+                self.obs.queue_depth.set_u64(queue.len() as u64);
                 run
             };
             if run.is_empty() {
@@ -375,7 +458,7 @@ impl<E: BatchExecutor> ServerShared<E> {
                     continue;
                 }
                 if self.executor.idle_maintain() {
-                    self.maintenance_steps.fetch_add(1, Ordering::Relaxed);
+                    self.obs.maintenance_steps.inc();
                     continue;
                 }
                 let queue = self.queue.lock().expect("server queue poisoned");
@@ -389,6 +472,16 @@ impl<E: BatchExecutor> ServerShared<E> {
             }
             // Space freed: wake one blocked submitter per popped entry.
             self.space.notify_all();
+            if pi_obs::ENABLED {
+                let now = Instant::now();
+                for submission in &run {
+                    if let Some(enqueued_at) = submission.enqueued_at {
+                        self.obs
+                            .queue_wait_ns
+                            .record_duration(now.saturating_duration_since(enqueued_at));
+                    }
+                }
+            }
             self.deliver_coalesced(run);
         }
     }
@@ -403,10 +496,34 @@ pub struct Server<E: BatchExecutor> {
 impl<E: BatchExecutor> Server<E> {
     /// Starts a server (and its dispatcher threads) over `executor`.
     ///
+    /// Metrics land in a fresh private registry (see
+    /// [`Server::metrics`]); use [`Server::with_metrics`] to aggregate
+    /// them into a shared registry instead.
+    ///
     /// # Panics
     /// Panics when `config.queue_capacity`, `config.max_coalesced_queries`
     /// or `config.dispatchers` is zero.
     pub fn new(executor: Arc<E>, config: ServerConfig) -> Self {
+        Self::with_metrics(executor, config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Starts a server whose `server.*` metrics are registered in
+    /// `registry`, so one snapshot can cover the server together with
+    /// the pool, executor and index layers below it.
+    ///
+    /// Two servers sharing one registry share the same `server.*`
+    /// handles — their [`Server::stats`] then aggregate across both.
+    /// Give each server its own registry (the [`Server::new`] default)
+    /// when per-server numbers matter.
+    ///
+    /// # Panics
+    /// Panics when `config.queue_capacity`, `config.max_coalesced_queries`
+    /// or `config.dispatchers` is zero.
+    pub fn with_metrics(
+        executor: Arc<E>,
+        config: ServerConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(
             config.max_coalesced_queries > 0,
@@ -416,6 +533,7 @@ impl<E: BatchExecutor> Server<E> {
             config.dispatchers > 0,
             "a server needs at least one dispatcher"
         );
+        let obs = ServerObs::register(&registry);
         let shared = Arc::new(ServerShared {
             executor,
             config,
@@ -423,11 +541,8 @@ impl<E: BatchExecutor> Server<E> {
             dispatch: Condvar::new(),
             space: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            executed_batches: AtomicU64::new(0),
-            served_requests: AtomicU64::new(0),
-            maintenance_steps: AtomicU64::new(0),
+            registry,
+            obs,
         });
         let dispatchers = (0..config.dispatchers)
             .map(|d| {
@@ -454,6 +569,13 @@ impl<E: BatchExecutor> Server<E> {
         &self.shared.executor
     }
 
+    /// The registry this server's `server.*` metrics live in — the one
+    /// passed to [`Server::with_metrics`], or the private per-server
+    /// registry created by [`Server::new`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
     /// Non-blocking admission: enqueues `requests` or hands them back
     /// with the backpressure reason.
     pub fn try_submit(
@@ -469,7 +591,7 @@ impl<E: BatchExecutor> Server<E> {
             });
         }
         if queue.len() >= self.shared.config.queue_capacity {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.rejected.inc();
             return Err(TrySubmitError {
                 error: SubmitError::QueueFull,
                 requests,
@@ -504,8 +626,10 @@ impl<E: BatchExecutor> Server<E> {
         queue.push_back(Submission {
             requests,
             slot: Arc::clone(&slot),
+            enqueued_at: pi_obs::ENABLED.then(Instant::now),
         });
-        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.accepted.inc();
+        self.shared.obs.queue_depth.set_u64(queue.len() as u64);
         self.shared.dispatch.notify_one();
         Ticket { slot }
     }
@@ -518,22 +642,26 @@ impl<E: BatchExecutor> Server<E> {
     }
 
     /// Current queue depth (submissions waiting, excluding in-flight).
+    /// Equivalent to [`ServerStats::queue_depth`] from [`Server::stats`].
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("server queue poisoned")
-            .len()
+        self.stats().queue_depth as usize
     }
 
-    /// Snapshot of the serving counters.
+    /// One consistent snapshot of the serving counters and the queue
+    /// depth: everything is read while holding the queue lock that also
+    /// guards admission, so `accepted`, `rejected` and `queue_depth`
+    /// cannot disagree mid-read.
     pub fn stats(&self) -> ServerStats {
+        let queue = self.shared.queue.lock().expect("server queue poisoned");
+        let obs = &self.shared.obs;
         ServerStats {
-            accepted: self.shared.accepted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            executed_batches: self.shared.executed_batches.load(Ordering::Relaxed),
-            served_requests: self.shared.served_requests.load(Ordering::Relaxed),
-            maintenance_steps: self.shared.maintenance_steps.load(Ordering::Relaxed),
+            accepted: obs.accepted.get(),
+            rejected: obs.rejected.get(),
+            executed_batches: obs.executed_batches.get(),
+            served_requests: obs.served_requests.get(),
+            maintenance_steps: obs.maintenance_steps.get(),
+            coalesced_batches: obs.coalesced_batches.get(),
+            queue_depth: queue.len() as u64,
         }
     }
 

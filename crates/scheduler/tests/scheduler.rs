@@ -264,6 +264,65 @@ fn workers_steal_from_a_loaded_sibling() {
     pool.shutdown();
 }
 
+#[test]
+fn server_stats_and_registry_agree() {
+    let registry = Arc::new(pi_obs::MetricsRegistry::new());
+    let exec = Arc::new(MockExec::new(true));
+    let server = Server::with_metrics(
+        Arc::clone(&exec),
+        ServerConfig {
+            queue_capacity: 2,
+            max_coalesced_queries: 256,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&registry),
+    );
+    // One in-flight blocker, two queued behind it (they will coalesce),
+    // one rejection once the queue is full.
+    let blocker = server.try_submit(vec![1]).unwrap();
+    exec.wait_entered(1);
+    let queued_a = server.try_submit(vec![2]).unwrap();
+    let queued_b = server.try_submit(vec![3, 4]).unwrap();
+    assert!(server.try_submit(vec![5]).is_err());
+    exec.release();
+    assert_eq!(blocker.wait(), Ok(vec![2]));
+    assert_eq!(queued_a.wait(), Ok(vec![4]));
+    assert_eq!(queued_b.wait(), Ok(vec![6, 8]));
+    server.shutdown();
+
+    // ServerStats and the registry are two views of the same handles.
+    let stats = server.stats();
+    let snap = server.metrics().snapshot();
+    assert!(Arc::ptr_eq(server.metrics(), &registry));
+    assert_eq!(snap.counter("server.accepted"), Some(stats.accepted));
+    assert_eq!(snap.counter("server.rejected"), Some(stats.rejected));
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.served_requests, 4);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(
+        snap.counter("server.coalesced_batches"),
+        Some(stats.coalesced_batches)
+    );
+    assert_eq!(
+        stats.coalesced_batches, 1,
+        "the two queued submissions must coalesce into one run"
+    );
+    // Every delivered run records its size.
+    let sizes = snap.histogram("server.coalesced_size").unwrap();
+    assert_eq!(sizes.count, stats.executed_batches);
+    assert_eq!(sizes.sum, stats.served_requests);
+    // Clock-based histograms only fill when the obs feature is on.
+    let waits = snap.histogram("server.queue_wait_ns").unwrap();
+    let latencies = snap.histogram("server.ticket_latency_ns").unwrap();
+    if pi_obs::ENABLED {
+        assert_eq!(waits.count, 3, "each accepted submission waits once");
+        assert_eq!(latencies.count, 3, "each resolved ticket has a latency");
+    } else {
+        assert_eq!(waits.count + latencies.count, 0);
+    }
+}
+
 /// An executor that panics on request value 99 — the dispatcher must
 /// survive, poison only the affected ticket (whose `wait` re-raises
 /// instead of hanging), and keep serving later submissions.

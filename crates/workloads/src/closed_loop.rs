@@ -14,8 +14,9 @@
 //! without this crate depending on the engine.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use pi_obs::{Histogram, HistogramSnapshot};
 
 use crate::multi_client::ClientStream;
 use crate::patterns::RangeQuery;
@@ -31,7 +32,9 @@ pub enum BatchOutcome {
 }
 
 /// Per-batch latency percentiles of one closed-loop run, measured from
-/// batch submission to batch completion (served batches only).
+/// batch submission to batch completion (served batches only). Read out
+/// of a [`pi_obs::Histogram`], so each value is a √2 bucket upper bound:
+/// never below the exact nearest-rank latency, at most one bucket above.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyPercentiles {
     /// Median batch latency.
@@ -45,24 +48,28 @@ pub struct LatencyPercentiles {
 }
 
 impl LatencyPercentiles {
-    /// Computes percentiles from raw per-batch latencies (any order).
-    /// Returns all-zero percentiles for an empty sample.
-    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
-        if samples.is_empty() {
-            return LatencyPercentiles::default();
+    /// Computes percentiles from raw per-batch latencies (any order) by
+    /// folding them through a [`pi_obs::Histogram`] — the same estimator
+    /// the serving stack exports, so driver reports and server metrics
+    /// agree on what "p99" means. Each reported percentile is the √2
+    /// bucket upper bound: never below the exact nearest-rank sample and
+    /// at most one bucket above it. Returns all-zero percentiles for an
+    /// empty sample.
+    pub fn from_samples(samples: Vec<Duration>) -> Self {
+        let histogram = Histogram::new();
+        for sample in samples {
+            histogram.record_duration(sample);
         }
-        samples.sort_unstable();
-        // Nearest-rank percentile: sample at ⌈p·n⌉ (1-based), the standard
-        // conservative estimator — never interpolates below an observed
-        // latency.
-        let at = |p: f64| {
-            let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-            samples[rank - 1]
-        };
+        LatencyPercentiles::from_histogram(&histogram.snapshot())
+    }
+
+    /// Reads percentiles out of an already-aggregated histogram snapshot,
+    /// e.g. a server-side `*_ns` latency histogram merged across workers.
+    pub fn from_histogram(snapshot: &HistogramSnapshot) -> Self {
         LatencyPercentiles {
-            p50: at(0.50),
-            p95: at(0.95),
-            p99: at(0.99),
+            p50: snapshot.quantile_duration(0.50),
+            p95: snapshot.quantile_duration(0.95),
+            p99: snapshot.quantile_duration(0.99),
         }
     }
 }
@@ -129,24 +136,23 @@ where
     assert!(batch_size > 0, "batch size must be positive");
     let served = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
-    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    // One shared concurrent histogram instead of a locked sample buffer:
+    // recording is a single relaxed atomic increment, so latency
+    // accounting never serialises the clients.
+    let latency = Histogram::new();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for &(client, stream) in streams {
             let submit = &submit;
             let served = &served;
             let rejected = &rejected;
-            let latencies = &latencies;
+            let latency = &latency;
             scope.spawn(move || {
-                // Per-client local buffer: one lock acquisition per client,
-                // not per batch, so latency accounting stays off the
-                // submission path.
-                let mut local = Vec::with_capacity(stream.len() / batch_size + 1);
                 for batch in stream.chunks(batch_size) {
                     let submitted = Instant::now();
                     match submit(client, batch) {
                         BatchOutcome::Served => {
-                            local.push(submitted.elapsed());
+                            latency.record_duration(submitted.elapsed());
                             served.fetch_add(batch.len(), Ordering::Relaxed)
                         }
                         BatchOutcome::Rejected => {
@@ -154,10 +160,6 @@ where
                         }
                     };
                 }
-                latencies
-                    .lock()
-                    .expect("latency buffer poisoned")
-                    .append(&mut local);
             });
         }
     });
@@ -165,7 +167,7 @@ where
         served: served.load(Ordering::Relaxed),
         rejected: rejected.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
-        latency: LatencyPercentiles::from_samples(latencies.into_inner().expect("latency buffer")),
+        latency: LatencyPercentiles::from_histogram(&latency.snapshot()),
     }
 }
 
@@ -243,20 +245,54 @@ mod tests {
         );
     }
 
+    /// `[exact, 2·exact]`: a histogram quantile is the √2-bucket upper
+    /// bound, never below the exact nearest-rank sample and at most one
+    /// bucket (≤ ×2) above it.
+    fn within_one_bucket(approx: Duration, exact: Duration) {
+        assert!(approx >= exact, "{approx:?} below exact {exact:?}");
+        assert!(
+            approx.as_nanos() <= (exact.as_nanos() * 2).max(6),
+            "{approx:?} more than one bucket above exact {exact:?}"
+        );
+    }
+
     #[test]
     fn percentiles_from_known_samples() {
         let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
         let l = LatencyPercentiles::from_samples(samples);
-        assert_eq!(l.p50, Duration::from_micros(50));
-        assert_eq!(l.p95, Duration::from_micros(95));
-        assert_eq!(l.p99, Duration::from_micros(99));
+        within_one_bucket(l.p50, Duration::from_micros(50));
+        within_one_bucket(l.p95, Duration::from_micros(95));
+        within_one_bucket(l.p99, Duration::from_micros(99));
         assert_eq!(
             LatencyPercentiles::from_samples(Vec::new()),
             LatencyPercentiles::default()
         );
         let single = LatencyPercentiles::from_samples(vec![Duration::from_millis(3)]);
-        assert_eq!(single.p50, Duration::from_millis(3));
-        assert_eq!(single.p99, Duration::from_millis(3));
+        within_one_bucket(single.p50, Duration::from_millis(3));
+        within_one_bucket(single.p99, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn percentiles_track_exact_sort_within_one_bucket() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(1usize..500);
+            let samples: Vec<Duration> = (0..n)
+                .map(|_| Duration::from_nanos(rng.gen_range(1u64..50_000_000)))
+                .collect();
+            let approx = LatencyPercentiles::from_samples(samples.clone());
+            let mut sorted = samples;
+            sorted.sort_unstable();
+            let exact_at = |p: f64| {
+                let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            within_one_bucket(approx.p50, exact_at(0.50));
+            within_one_bucket(approx.p95, exact_at(0.95));
+            within_one_bucket(approx.p99, exact_at(0.99));
+        }
     }
 
     #[test]

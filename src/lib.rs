@@ -20,6 +20,9 @@
 //!   bounded queue, coalescing and backpressure ([`pi_sched`]).
 //! * [`experiments`] — the harness reproducing the paper's figures and
 //!   tables ([`pi_experiments`]).
+//! * [`obs`] — in-tree observability: sharded counters, log-bucketed
+//!   latency histograms, the metrics registry and its JSON / Prometheus
+//!   exports ([`pi_obs`]).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
@@ -30,6 +33,7 @@ pub use pi_core as index;
 pub use pi_cracking as cracking;
 pub use pi_engine as engine;
 pub use pi_experiments as experiments;
+pub use pi_obs as obs;
 pub use pi_sched as sched;
 pub use pi_storage as storage;
 pub use pi_workloads as workloads;
