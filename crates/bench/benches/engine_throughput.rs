@@ -19,15 +19,18 @@
 //! the committed JSON.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, BenchResult, Criterion};
 
 use pi_bench::BENCH_SCALE;
 use pi_core::budget::BudgetPolicy;
 use pi_core::mutation::Mutation;
+use pi_durable::snapshot::{DirStore, MemStore};
+use pi_durable::wal::{FileWal, FsyncPolicy, MemWalHandle};
 use pi_engine::typed::{TableKey, TypedColumnSpec, TypedExecutor, TypedQuery, TypedTable};
 use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
+use pi_engine::{DurabilityConfig, DurableTable};
 use pi_obs::MetricsRegistry;
 use pi_sched::ServerConfig;
 use pi_workloads::closed_loop::{self, BatchOutcome, LatencyPercentiles};
@@ -408,6 +411,169 @@ fn bench_mixed_workload(
     });
 }
 
+/// Durability overhead: the `mixed` group's 0.3-write-fraction stream,
+/// served once without a log and once per fsync policy with every
+/// mutation batch write-ahead logged to a file (`FileWal` + `DirStore`
+/// in a scratch directory). Same single-client ops/s semantics as
+/// `mixed` — compare `durability` entries against each other and
+/// against `mixed/0.3`; the `off` configuration doubles as the
+/// no-regression guard for tables built without durability. Checkpoint
+/// thresholds are parked high so the rounds measure steady-state WAL
+/// overhead, not checkpoint placement.
+fn bench_durability_overhead(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
+    const CONFIGS: [(&str, Option<FsyncPolicy>); 4] = [
+        ("off", None),
+        ("always", Some(FsyncPolicy::Always)),
+        ("every32", Some(FsyncPolicy::EveryN(32))),
+        (
+            "interval2ms",
+            Some(FsyncPolicy::Interval(Duration::from_millis(2))),
+        ),
+    ];
+    let ids = CONFIGS
+        .iter()
+        .map(|(name, _)| format!("engine_throughput/durability/serve_4_shards/{name}"))
+        .collect();
+    let ops = mixed::generate(
+        &MixedSpec::new(params.rows as u64, params.queries_per_run(), 0.3)
+            .with_seed(97)
+            .with_insert_domain(params.rows as u64 * 2),
+    );
+    let dir = std::env::temp_dir().join(format!("pi-bench-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let values = data::generate(Distribution::UniformRandom, params.rows, 31);
+        let spec = ColumnSpec::new("a", values)
+            .with_shards(4)
+            .with_policy(BudgetPolicy::FixedDelta(0.25));
+        let config = ExecutorConfig {
+            maintenance_steps: 2,
+            ..ExecutorConfig::default()
+        };
+        let executor = match CONFIGS[i].1 {
+            None => Executor::with_config(Arc::new(Table::builder().column(spec).build()), config),
+            Some(fsync) => {
+                let durable = Table::builder()
+                    .column(spec)
+                    .durability(DurabilityConfig {
+                        fsync,
+                        checkpoint_wal_bytes: u64::MAX,
+                        checkpoint_after_merges: u64::MAX,
+                        ..DurabilityConfig::default()
+                    })
+                    .build_durable(
+                        Box::new(FileWal::open(dir.join("bench.wal")).expect("wal file")),
+                        Box::new(DirStore::open(&dir).expect("snapshot dir")),
+                    )
+                    .expect("durable build");
+                Executor::with_durability(Arc::new(durable), config, None)
+            }
+        };
+        let mut latencies = Vec::new();
+        let start = Instant::now();
+        for chunk in ops.chunks(10) {
+            let submitted = Instant::now();
+            let mut queries = Vec::new();
+            let mut writes = Vec::new();
+            for op in chunk {
+                match *op {
+                    MixedOp::Read(q) => queries.push(TableQuery::new("a", q.low, q.high)),
+                    MixedOp::Write(w) => writes.push(match w {
+                        WriteOp::Insert(v) => Mutation::Insert(v),
+                        WriteOp::Delete(v) => Mutation::Delete(v),
+                        WriteOp::Update { old, new } => Mutation::Update { old, new },
+                    }),
+                }
+            }
+            if !writes.is_empty() {
+                black_box(
+                    executor
+                        .apply_mutations("a", &writes)
+                        .expect("known column"),
+                );
+            }
+            if !queries.is_empty() {
+                black_box(executor.execute_batch(&queries).expect("known column"));
+            }
+            latencies.push(submitted.elapsed());
+        }
+        (start.elapsed(), LatencyPercentiles::from_samples(latencies))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery time as a function of WAL-tail length: N mutation batches
+/// are logged past the last checkpoint (in-memory log + store, so the
+/// rounds measure replay work, not disk), then `DurableTable::recover`
+/// is timed cold. `queries_per_second` is meaningless for this group —
+/// read `median_seconds_per_iter` (recovery wall time) instead.
+fn bench_recovery_time(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
+    const TAIL_BATCHES: [usize; 3] = [8, 64, 256];
+    let batches = if params.smoke {
+        [1, 2, 4]
+    } else {
+        TAIL_BATCHES
+    };
+    let ids = batches
+        .iter()
+        .map(|n| format!("engine_throughput/recovery/replay_batches/{n}"))
+        .collect();
+    let rows = if params.smoke { params.rows } else { 100_000 };
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let values = data::generate(Distribution::UniformRandom, rows, 31);
+        let wal = MemWalHandle::new();
+        let store = MemStore::new();
+        let durable = Table::builder()
+            .column(
+                ColumnSpec::new("a", values)
+                    .with_shards(4)
+                    .with_policy(BudgetPolicy::FixedDelta(0.25)),
+            )
+            .durability(DurabilityConfig {
+                fsync: FsyncPolicy::Always,
+                checkpoint_wal_bytes: u64::MAX,
+                checkpoint_after_merges: u64::MAX,
+                ..DurabilityConfig::default()
+            })
+            .build_durable(Box::new(wal.storage()), Box::new(store.clone()))
+            .expect("durable build");
+        let mut seed = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..batches[i] {
+            let batch: Vec<Mutation> = (0..50)
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    Mutation::Insert(seed % rows as u64)
+                })
+                .collect();
+            durable.apply_mutations("a", &batch).expect("known column");
+        }
+        drop(durable);
+        let start = Instant::now();
+        let (_recovered, report) = black_box(
+            DurableTable::recover(
+                Box::new(wal.storage()),
+                Box::new(store.clone()),
+                DurabilityConfig::default(),
+                None,
+            )
+            .expect("recovery"),
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(report.replayed_records, batches[i] as u64);
+        (elapsed, LatencyPercentiles::from_samples(vec![elapsed]))
+    });
+}
+
 /// Builds a typed executor over a fresh 4-shard column of `keys`.
 fn build_typed_executor<K: TableKey>(keys: Vec<K>) -> TypedExecutor<K> {
     let table = Arc::new(
@@ -658,6 +824,8 @@ fn main() {
     bench_converged_serving(&c, &mut latency, params);
     bench_server_front_end(&c, &mut latency, params);
     bench_mixed_workload(&c, &mut latency, params);
+    bench_durability_overhead(&c, &mut latency, params);
+    bench_recovery_time(&c, &mut latency, params);
     bench_typed_domains(&c, &mut latency, params);
     // The instrumented convergence pass runs in both modes (smoke keeps
     // the code path exercised) but only full runs persist it.

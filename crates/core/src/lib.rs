@@ -92,7 +92,7 @@ pub use cost_model::{CostConstants, CostModel};
 pub use decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
 pub use index::RangeIndex;
 pub use metrics::IndexMetrics;
-pub use mutation::{MutableConfig, MutableIndex, Mutation};
+pub use mutation::{MergeHook, MutableConfig, MutableIndex, Mutation};
 pub use quicksort::ProgressiveQuicksort;
 pub use radix_lsd::ProgressiveRadixsortLsd;
 pub use radix_msd::ProgressiveRadixsortMsd;

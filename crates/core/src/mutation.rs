@@ -83,6 +83,17 @@ use crate::index::RangeIndex;
 use crate::metrics::IndexMetrics;
 use crate::result::{IndexStatus, Phase, QueryResult};
 
+/// Callback invoked every time a [`MutableIndex`] completes an
+/// incremental sidecar merge (the argument is the index's total completed
+/// merge count). The merge boundary is the natural checkpoint site for a
+/// durability layer — the freshly swapped-in snapshot already contains
+/// every previously pending delta ("log the delta, snapshot the merged
+/// base") — so the hook lets that layer observe the boundary without
+/// polling. Invoked while the index (and, at the engine layer, its shard
+/// lock) is held: implementations must be cheap and must not call back
+/// into the index.
+pub type MergeHook = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// A single write against a mutable progressive index. The column is a
 /// multiset of values; see the [module docs](self) for the exact
 /// semantics of each variant.
@@ -211,6 +222,8 @@ pub struct MutableIndex {
     /// merge steps and cost-model error. `None` records (and costs)
     /// nothing.
     metrics: Option<Arc<IndexMetrics>>,
+    /// Optional merge-boundary callback; see [`MergeHook`].
+    merge_hook: Option<MergeHook>,
 }
 
 impl MutableIndex {
@@ -227,18 +240,57 @@ impl MutableIndex {
         policy: BudgetPolicy,
         config: MutableConfig,
     ) -> Self {
+        Self::from_parts(column, DeltaSidecar::new(), algorithm, policy, config)
+    }
+
+    /// Reassembles a mutable index from persisted parts: the immutable
+    /// base snapshot plus a pending-delta sidecar (the pair
+    /// [`MutableIndex::snapshot_parts`] captures). The inner index
+    /// restarts at the creation phase over the base snapshot — indexing
+    /// progress is deliberately not persisted, only logical state — and
+    /// the sidecar's mutations are pending again, exactly as after the
+    /// equivalent live `apply` calls.
+    pub fn from_parts(
+        column: Arc<Column>,
+        sidecar: DeltaSidecar,
+        algorithm: Algorithm,
+        policy: BudgetPolicy,
+        config: MutableConfig,
+    ) -> Self {
         let inner = (!column.is_empty()).then(|| algorithm.build(Arc::clone(&column), policy));
         MutableIndex {
             base: column,
             inner,
-            pending: DeltaSidecar::new(),
+            pending: sidecar,
             merge: None,
             algorithm,
             policy,
             config,
             merges_completed: 0,
             metrics: None,
+            merge_hook: None,
         }
+    }
+
+    /// Captures the index's logical state as persistable parts: the base
+    /// snapshot (shared, never mutated) and one flattened sidecar holding
+    /// every not-yet-merged mutation — an in-flight merge's frozen deltas
+    /// composed with the fresh pending sidecar. Feeding the pair back
+    /// through [`MutableIndex::from_parts`] yields an index answering
+    /// every query identically.
+    pub fn snapshot_parts(&self) -> (Arc<Column>, DeltaSidecar) {
+        let mut sidecar = self
+            .merge
+            .as_ref()
+            .map_or_else(DeltaSidecar::new, |m| m.frozen.clone());
+        sidecar.compose(&self.pending);
+        (Arc::clone(&self.base), sidecar)
+    }
+
+    /// Attaches (or detaches) the merge-boundary callback; see
+    /// [`MergeHook`].
+    pub fn set_merge_hook(&mut self, hook: Option<MergeHook>) {
+        self.merge_hook = hook;
     }
 
     /// Attaches (or detaches) an observability sink. See
@@ -386,6 +438,9 @@ impl MutableIndex {
                 .then(|| self.algorithm.build(Arc::clone(&column), self.policy));
             self.base = column;
             self.merges_completed += 1;
+            if let Some(hook) = &self.merge_hook {
+                hook(self.merges_completed);
+            }
         }
         true
     }
@@ -728,6 +783,70 @@ mod tests {
         }
         assert!(index.merges_completed() >= 1);
         assert_eq!(index.live_rows(), oracle.live.len());
+    }
+
+    #[test]
+    fn snapshot_parts_round_trip_through_every_phase() {
+        for algorithm in Algorithm::ALL {
+            let (mut index, mut oracle) = fresh(2_000, 4_000, algorithm);
+            let mut rng = testing::TestRng::new(11);
+            for step in 0..120 {
+                let m = match rng.below(3) {
+                    0 => Mutation::Insert(rng.below(4_000)),
+                    1 => Mutation::Delete(rng.below(4_000)),
+                    _ => Mutation::Update {
+                        old: rng.below(4_000),
+                        new: rng.below(4_000),
+                    },
+                };
+                assert_eq!(index.apply(&m), oracle.apply(&m));
+                index.advance();
+                // Snapshot mid-flight (including mid-merge) and rebuild: the
+                // restored index must answer identically.
+                if step % 17 == 0 {
+                    let (base, sidecar) = index.snapshot_parts();
+                    let mut restored = MutableIndex::from_parts(
+                        base,
+                        sidecar,
+                        algorithm,
+                        BudgetPolicy::FixedDelta(0.25),
+                        MutableConfig::default(),
+                    );
+                    let low = rng.below(4_000);
+                    let high = low + rng.below(1_000);
+                    assert_eq!(
+                        restored.query(low, high).scan_result(),
+                        oracle.query(low, high),
+                        "{algorithm} restored mismatch at step {step}"
+                    );
+                    assert_eq!(restored.live_total(), index.live_total());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_hook_fires_at_every_merge_boundary() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (mut index, _) = fresh(1_000, 2_000, Algorithm::Quicksort);
+        let events = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&events);
+        index.set_merge_hook(Some(Arc::new(move |_| {
+            sink.fetch_add(1, Ordering::SeqCst);
+        })));
+        for i in 0..64u64 {
+            index.apply(&Mutation::Insert(i * 31 % 2_000));
+        }
+        while index.advance() {}
+        assert!(index.is_converged());
+        assert_eq!(events.load(Ordering::SeqCst), index.merges_completed());
+        assert!(events.load(Ordering::SeqCst) >= 1);
+        // Detaching stops the callbacks.
+        index.set_merge_hook(None);
+        index.apply(&Mutation::Insert(7));
+        let before = events.load(Ordering::SeqCst);
+        while index.advance() {}
+        assert_eq!(events.load(Ordering::SeqCst), before);
     }
 
     #[test]

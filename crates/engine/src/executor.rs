@@ -77,17 +77,33 @@ impl TableQuery {
 pub enum EngineError {
     /// A query addressed a column the table does not have.
     UnknownColumn(String),
+    /// The durability layer failed to log or checkpoint a write (the
+    /// wrapped [`crate::durability::DurabilityError`], stringified so
+    /// the error stays `Clone`).
+    Durability(String),
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            EngineError::Durability(what) => write!(f, "durability failure: {what}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<crate::durability::DurabilityError> for EngineError {
+    fn from(e: crate::durability::DurabilityError) -> Self {
+        match e {
+            crate::durability::DurabilityError::UnknownColumn(name) => {
+                EngineError::UnknownColumn(name)
+            }
+            other => EngineError::Durability(other.to_string()),
+        }
+    }
+}
 
 /// Executor tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -360,6 +376,10 @@ pub struct Executor {
     pool: Pool,
     /// The registry passed to [`Executor::with_metrics`], if any.
     registry: Option<Arc<MetricsRegistry>>,
+    /// Durability layer, when attached ([`Executor::with_durability`]):
+    /// mutations route through its write-ahead log and the idle path
+    /// triggers its opportunistic checkpoints.
+    durability: Option<Arc<crate::durability::DurableTable>>,
 }
 
 impl Executor {
@@ -390,10 +410,36 @@ impl Executor {
         Self::build(table, config, Some(registry))
     }
 
+    /// Creates an executor over a durable table
+    /// ([`crate::durability::DurableTable`]): queries and maintenance
+    /// serve the wrapped table as usual, while
+    /// [`Executor::apply_mutations`] routes every batch through the
+    /// write-ahead log (serialized — log order must equal apply order —
+    /// instead of the shard-parallel wave dispatch) and the pool's idle
+    /// cycles additionally trigger the durability layer's opportunistic
+    /// checkpoints. Pass the registry the durable table was created
+    /// with, if any, to also get the `executor.*` metrics.
+    pub fn with_durability(
+        durable: Arc<crate::durability::DurableTable>,
+        config: ExecutorConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        Self::build_with(Arc::clone(durable.table()), config, registry, Some(durable))
+    }
+
     fn build(
         table: Arc<Table>,
         config: ExecutorConfig,
         registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        Self::build_with(table, config, registry, None)
+    }
+
+    fn build_with(
+        table: Arc<Table>,
+        config: ExecutorConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+        durability: Option<Arc<crate::durability::DurableTable>>,
     ) -> Self {
         let mut addresses = Vec::with_capacity(table.total_shards());
         let mut column_offsets = Vec::with_capacity(table.columns().len());
@@ -422,7 +468,17 @@ impl Executor {
         });
         let idle_task = config.background_maintenance.then(|| {
             let maintenance = Arc::clone(&maintenance);
-            Arc::new(move |_worker: usize| maintenance.idle_step()) as pi_sched::IdleTask
+            let durable = durability.clone();
+            Arc::new(move |_worker: usize| {
+                let worked = maintenance.idle_step();
+                // Idle cycles double as the durability layer's checkpoint
+                // pulse (a failed opportunistic checkpoint is surfaced by
+                // the next durable write, not here).
+                if let Some(durable) = &durable {
+                    let _ = durable.maybe_checkpoint();
+                }
+                worked
+            }) as pi_sched::IdleTask
         });
         let pool = Pool::with_config(PoolConfig {
             workers,
@@ -439,7 +495,13 @@ impl Executor {
             pending_maintenance: Arc::new(AtomicUsize::new(0)),
             pool,
             registry,
+            durability,
         }
+    }
+
+    /// The durability layer, when one is attached.
+    pub fn durability(&self) -> Option<&Arc<crate::durability::DurableTable>> {
+        self.durability.as_ref()
     }
 
     /// The table this executor serves.
@@ -734,6 +796,16 @@ impl Executor {
         column: &str,
         mutations: &[Mutation],
     ) -> Result<Vec<bool>, EngineError> {
+        // With durability attached, writes must go through the
+        // write-ahead log, serialized: the log's replay path is the
+        // table's serial order, so the shard-parallel wave dispatch
+        // below (whose cross-shard interleaving can differ from serial
+        // order) is not used.
+        if let Some(durable) = &self.durability {
+            return durable
+                .apply_mutations(column, mutations)
+                .map_err(EngineError::from);
+        }
         let column_idx = self
             .table
             .column_index(column)
@@ -940,7 +1012,16 @@ impl BatchExecutor for Executor {
     }
 
     fn idle_maintain(&self) -> bool {
-        self.maintenance.idle_step()
+        let worked = self.maintenance.idle_step();
+        // Idle cycles double as the durability layer's checkpoint pulse:
+        // merges completed by the step above may have crossed the
+        // checkpoint-after-merges threshold. A failed opportunistic
+        // checkpoint is not a serving error; the next durable write
+        // surfaces it.
+        if let Some(durable) = &self.durability {
+            let _ = durable.maybe_checkpoint();
+        }
+        worked
     }
 }
 

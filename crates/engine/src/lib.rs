@@ -45,6 +45,13 @@
 //!   order at every refinement stage (string boundary ties resolved by
 //!   an exact-match side path), and SUM digests are capability-gated to
 //!   the domains that can decode them.
+//! * **Durability** — [`durability::DurableTable`] write-ahead logs every
+//!   mutation batch, checkpoints each column as its merged base snapshot
+//!   plus pending sidecar ("log the delta, snapshot the merged base"),
+//!   and recovers from a crash at any log offset to exactly the last
+//!   durable prefix ([`durability::DurableTable::recover`]). Attach it to
+//!   an executor with [`TableBuilder::durability`] +
+//!   [`TableBuilder::build_durable`] and [`Executor::with_durability`].
 //!
 //! The executor implements [`pi_sched::BatchExecutor`], so a
 //! [`pi_sched::Server`] can front it with a bounded admission queue,
@@ -87,11 +94,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durability;
 pub mod executor;
 pub mod stats;
 pub mod table;
 pub mod typed;
 
+pub use durability::{DurabilityConfig, DurabilityError, DurableTable, RecoveryReport};
 pub use executor::{EngineError, Executor, ExecutorConfig, TableQuery};
 pub use stats::{estimate_distribution, WorkloadStats};
 pub use table::{AlgorithmChoice, ColumnSpec, Shard, ShardedColumn, Table, TableBuilder};

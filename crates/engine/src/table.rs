@@ -23,11 +23,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use pi_core::budget::BudgetPolicy;
 use pi_core::decision::{recommend, Algorithm, DataDistribution, QueryShape, Scenario};
 use pi_core::metrics::IndexMetrics;
-use pi_core::mutation::{MutableIndex, Mutation};
+use pi_core::mutation::{MergeHook, MutableConfig, MutableIndex, Mutation};
 use pi_core::result::{IndexStatus, Phase};
 use pi_obs::{Gauge, MetricsRegistry};
+use pi_storage::delta::DeltaSidecar;
 use pi_storage::scan::ScanResult;
-use pi_storage::shard::RangePartition;
+use pi_storage::shard::{sample_values, RangePartition};
 use pi_storage::{Column, Value};
 
 use crate::stats::{estimate_distribution, WorkloadStats};
@@ -111,6 +112,31 @@ impl Shard {
         }
     }
 
+    /// Reassembles a shard from persisted parts (base snapshot + pending
+    /// sidecar); see [`MutableIndex::from_parts`].
+    fn from_parts(
+        base: Arc<Column>,
+        sidecar: DeltaSidecar,
+        algorithm: Algorithm,
+        policy: BudgetPolicy,
+    ) -> Self {
+        Shard {
+            index: MutableIndex::from_parts(
+                base,
+                sidecar,
+                algorithm,
+                policy,
+                MutableConfig::default(),
+            ),
+        }
+    }
+
+    /// Captures the shard's logical state as persistable parts; see
+    /// [`MutableIndex::snapshot_parts`].
+    pub fn snapshot_parts(&self) -> (Arc<Column>, DeltaSidecar) {
+        self.index.snapshot_parts()
+    }
+
     /// Number of live rows this shard owns (base snapshot net of pending
     /// mutations).
     pub fn rows(&self) -> usize {
@@ -154,6 +180,12 @@ impl Shard {
     /// [`MutableIndex::set_metrics`].
     fn set_metrics(&mut self, metrics: Option<Arc<IndexMetrics>>) {
         self.index.set_metrics(metrics);
+    }
+
+    /// Attaches (or detaches) the merge-boundary callback; see
+    /// [`MutableIndex::set_merge_hook`].
+    fn set_merge_hook(&mut self, hook: Option<MergeHook>) {
+        self.index.set_merge_hook(hook);
     }
 }
 
@@ -246,6 +278,9 @@ pub struct ShardedColumn {
     /// paper's ρ (fraction of the data fully indexed), refreshed whenever
     /// a shard performs indexing work or absorbs a mutation.
     rho: Option<Vec<Arc<Gauge>>>,
+    /// Merge-boundary callback shared by every shard's index (the
+    /// durability layer's checkpoint trigger); `None` costs nothing.
+    merge_hook: Option<MergeHook>,
 }
 
 impl ShardedColumn {
@@ -319,6 +354,125 @@ impl ShardedColumn {
             stats: WorkloadStats::new(),
             index_metrics: None,
             rho: None,
+            merge_hook: None,
+        }
+    }
+
+    /// Reassembles a column from persisted parts: the shard boundaries
+    /// plus each shard's base snapshot and pending sidecar (the state
+    /// [`ShardedColumn::snapshot_state`] captures). Indexing progress
+    /// restarts at the creation phase; the live multiset — and therefore
+    /// every query answer — is exactly what was captured.
+    ///
+    /// `boundaries` must be strictly ascending and `shards` must hold
+    /// exactly `boundaries.len() + 1` entries (the snapshot codec
+    /// validates both).
+    pub(crate) fn restore(
+        name: String,
+        algorithm: Algorithm,
+        policy: BudgetPolicy,
+        boundaries: Vec<Value>,
+        shard_states: Vec<(Arc<Column>, DeltaSidecar)>,
+    ) -> Self {
+        assert_eq!(
+            shard_states.len(),
+            boundaries.len() + 1,
+            "shard count must match the partition"
+        );
+        let partition = RangePartition::from_boundaries(boundaries);
+        // The estimated distribution only steers algorithm *advice*
+        // (`recommended_algorithm`), never answers, so a bounded sample
+        // of the persisted state is plenty.
+        let mut sampled: Vec<Value> = Vec::new();
+        for (base, sidecar) in &shard_states {
+            sampled.extend(sample_values(base.data(), 1024));
+            sampled.extend(sample_values(sidecar.inserts(), 256));
+        }
+        let distribution = estimate_distribution(&sampled);
+        let shards: Vec<Mutex<Shard>> = shard_states
+            .into_iter()
+            .map(|(base, sidecar)| Mutex::new(Shard::from_parts(base, sidecar, algorithm, policy)))
+            .collect();
+        let digests: Vec<RwLock<ShardDigest>> = shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock().expect("shard lock poisoned");
+                let (base, sidecar) = guard.snapshot_parts();
+                let mut digest = ShardDigest {
+                    min: base.min(),
+                    max: base.max(),
+                    total: guard.index.live_total(),
+                };
+                // Pending inserts may lie outside the base bounds; widen
+                // like the live path would have (sorted run: first/last).
+                if let (Some(&lo), Some(&hi)) =
+                    (sidecar.inserts().first(), sidecar.inserts().last())
+                {
+                    digest.widen(lo);
+                    digest.widen(hi);
+                }
+                RwLock::new(digest)
+            })
+            .collect();
+        let shard_rows: Vec<usize> = digests
+            .iter()
+            .map(|d| d.read().expect("digest lock poisoned").total.count as usize)
+            .collect();
+        let rows = shard_rows.iter().sum();
+        let domain = digests
+            .iter()
+            .map(|d| d.read().expect("digest lock poisoned"))
+            .filter(|d| d.total.count > 0)
+            .fold(None, |acc: Option<(Value, Value)>, d| match acc {
+                None => Some((d.min, d.max)),
+                Some((lo, hi)) => Some((lo.min(d.min), hi.max(d.max))),
+            })
+            .unwrap_or((0, 0));
+        let shard_dirty = shards.iter().map(|_| AtomicBool::new(false)).collect();
+        ShardedColumn {
+            name,
+            rows,
+            domain,
+            algorithm,
+            policy,
+            distribution,
+            partition,
+            shard_rows,
+            digests,
+            shards,
+            shard_dirty,
+            mutation_epoch: AtomicU64::new(0),
+            stats: WorkloadStats::new(),
+            index_metrics: None,
+            rho: None,
+            merge_hook: None,
+        }
+    }
+
+    /// Captures the column's persistable state: the partition boundaries
+    /// and each shard's base snapshot plus pending sidecar. Callers
+    /// wanting a consistent whole-column snapshot must exclude writers
+    /// while capturing (the durability layer quiesces them).
+    pub fn snapshot_state(&self) -> (Vec<Value>, Vec<(Arc<Column>, DeltaSidecar)>) {
+        let boundaries = self.partition.boundaries().to_vec();
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").snapshot_parts())
+            .collect();
+        (boundaries, shards)
+    }
+
+    /// Attaches the merge-boundary callback to every shard's index (the
+    /// durability layer's checkpoint trigger; fires with the shard's
+    /// completed-merge count whenever a pending-delta merge completes).
+    pub(crate) fn attach_merge_hook(&mut self, hook: MergeHook) {
+        self.merge_hook = Some(hook);
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("shard lock poisoned")
+                .set_merge_hook(self.merge_hook.clone());
         }
     }
 
@@ -331,8 +485,9 @@ impl ShardedColumn {
     /// * `engine.rho.<column>.<shard>` — each shard's ρ, the paper's
     ///   convergence measure ([`IndexStatus::fraction_indexed`]).
     ///
-    /// Called by [`TableBuilder::build`] before the table is shared.
-    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+    /// Called by [`TableBuilder::build`] before the table is shared (and
+    /// by recovery, which rebuilds columns outside the builder).
+    pub(crate) fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         let scope = pi_obs::sanitize_component(&self.name);
         self.index_metrics = Some(IndexMetrics::register(registry, &self.name));
         self.rho = Some(
@@ -343,13 +498,14 @@ impl ShardedColumn {
         self.reattach_metrics();
     }
 
-    /// Pushes the column's metric handles into every shard and seeds the
-    /// ρ gauges from the current statuses (also used after a re-balance,
-    /// which rebuilds the shards from scratch).
+    /// Pushes the column's metric handles and merge hook into every shard
+    /// and seeds the ρ gauges from the current statuses (also used after
+    /// a re-balance, which rebuilds the shards from scratch).
     fn reattach_metrics(&mut self) {
         for (s, shard) in self.shards.iter().enumerate() {
             let mut guard = shard.lock().expect("shard lock poisoned");
             guard.set_metrics(self.index_metrics.clone());
+            guard.set_merge_hook(self.merge_hook.clone());
             if let Some(rho) = &self.rho {
                 rho[s].set(guard.status().fraction_indexed);
             }
@@ -393,6 +549,11 @@ impl ShardedColumn {
     /// The algorithm running on every shard of this column.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The per-shard indexing budget policy of this column.
+    pub fn policy(&self) -> BudgetPolicy {
+        self.policy
     }
 
     /// Number of shards.
@@ -638,6 +799,7 @@ impl ShardedColumn {
         let partition = RangePartition::equi_depth(&live, shards);
         let index_metrics = self.index_metrics.take();
         let rho = self.rho.take();
+        let merge_hook = self.merge_hook.take();
         *self = Self::build(
             std::mem::take(&mut self.name),
             Column::from_vec(live),
@@ -647,9 +809,11 @@ impl ShardedColumn {
             self.distribution,
         );
         // The rebuilt shards keep reporting into the same metric family
-        // (same shard count, so the gauge handles stay valid).
+        // (same shard count, so the gauge handles stay valid) and keep
+        // firing the same merge hook.
         self.index_metrics = index_metrics;
         self.rho = rho;
+        self.merge_hook = merge_hook;
         self.reattach_metrics();
     }
 
@@ -727,6 +891,7 @@ pub struct Table {
 pub struct TableBuilder {
     specs: Vec<ColumnSpec>,
     metrics: Option<Arc<MetricsRegistry>>,
+    durability: Option<crate::durability::DurabilityConfig>,
 }
 
 impl TableBuilder {
@@ -743,6 +908,13 @@ impl TableBuilder {
     /// Without this call the table records nothing and pays nothing.
     pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Sets the durability configuration [`TableBuilder::build_durable`]
+    /// wraps the table with (defaults apply when omitted).
+    pub fn durability(mut self, config: crate::durability::DurabilityConfig) -> Self {
+        self.durability = Some(config);
         self
     }
 
@@ -769,12 +941,72 @@ impl TableBuilder {
         }
         Table { columns, by_name }
     }
+
+    /// Builds the table and wraps it in a
+    /// [`crate::durability::DurableTable`] over the given write-ahead
+    /// log and snapshot store, using the configuration set through
+    /// [`TableBuilder::durability`] (or its defaults). The metrics
+    /// registry set through [`TableBuilder::metrics`] also receives the
+    /// `wal.*` namespace.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn build_durable(
+        self,
+        wal: Box<dyn pi_durable::WalStorage>,
+        store: Box<dyn pi_durable::SnapshotStore>,
+    ) -> Result<crate::durability::DurableTable, crate::durability::DurabilityError> {
+        let config = self.durability.unwrap_or_default();
+        let registry = self.metrics.clone();
+        let table = self.build();
+        crate::durability::DurableTable::create(table, wal, store, config, registry.as_deref())
+    }
 }
 
 impl Table {
     /// Starts building a table.
     pub fn builder() -> TableBuilder {
         TableBuilder::default()
+    }
+
+    /// Assembles a table from already-constructed columns (the recovery
+    /// path; [`Table::builder`] is the normal constructor).
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub(crate) fn from_columns(columns: Vec<ShardedColumn>) -> Table {
+        let mut by_name = HashMap::new();
+        for (i, column) in columns.iter().enumerate() {
+            let previous = by_name.insert(column.name().to_string(), i);
+            assert!(
+                previous.is_none(),
+                "duplicate column name {:?}",
+                column.name()
+            );
+        }
+        Table { columns, by_name }
+    }
+
+    /// Attaches `hook` as the merge-boundary callback of every shard of
+    /// every column (the durability layer's checkpoint trigger).
+    pub(crate) fn attach_merge_hooks(&mut self, hook: MergeHook) {
+        for column in &mut self.columns {
+            column.attach_merge_hook(hook.clone());
+        }
+    }
+
+    /// Re-balances the named column unconditionally (the durability
+    /// layer's replay path for a logged rebalance; operational callers
+    /// use [`Table::rebalance_if_drifted`]). Returns `false` for an
+    /// unknown column.
+    pub(crate) fn rebalance_column(&mut self, name: &str) -> bool {
+        match self.by_name.get(name).copied() {
+            Some(i) => {
+                self.columns[i].rebalance();
+                true
+            }
+            None => false,
+        }
     }
 
     /// The table's columns, in insertion order.

@@ -187,6 +187,40 @@ impl DeltaSidecar {
     pub fn into_parts(self) -> (Vec<Value>, Vec<Value>) {
         (self.inserts, self.tombstones)
     }
+
+    /// Rebuilds a sidecar from sorted multisets (the decode half of the
+    /// snapshot codec, [`crate::snapshot::read_sidecar`]). Returns `None`
+    /// when either run is out of order — a corrupted encoding must be
+    /// rejected, not trusted into the binary-search invariants.
+    pub fn from_sorted_parts(inserts: Vec<Value>, tombstones: Vec<Value>) -> Option<Self> {
+        let sorted = |run: &[Value]| run.windows(2).all(|w| w[0] <= w[1]);
+        if sorted(&inserts) && sorted(&tombstones) {
+            Some(DeltaSidecar {
+                inserts,
+                tombstones,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Folds a *later* sidecar into this one, preserving sequential
+    /// semantics: each of `later`'s inserts cancels one of this sidecar's
+    /// tombstones of the same value (or becomes a pending insert), and
+    /// each of `later`'s tombstones consumes one pending insert (or
+    /// becomes a tombstone over the shared base snapshot). Used to
+    /// flatten an in-flight merge's frozen deltas with the fresh pending
+    /// sidecar into one snapshot-equivalent sidecar.
+    pub fn compose(&mut self, later: &DeltaSidecar) {
+        for &v in later.inserts() {
+            self.insert(v);
+        }
+        for &v in later.tombstones() {
+            if !self.cancel_insert(v) {
+                self.add_tombstone(v);
+            }
+        }
+    }
 }
 
 /// Tombstone-aware scan of an (unsorted) base slice: the predicated
@@ -290,6 +324,40 @@ mod tests {
         let r = scan_range_sum_with_deltas(&data, &s, 4, 9);
         // live multiset in [4, 9]: {5, 9, 6}
         assert_eq!(r, ScanResult { sum: 20, count: 3 });
+    }
+
+    #[test]
+    fn from_sorted_parts_validates_order() {
+        let s = DeltaSidecar::from_sorted_parts(vec![1, 2, 2], vec![5]).unwrap();
+        assert_eq!(s.inserts(), &[1, 2, 2]);
+        assert_eq!(s.tombstones(), &[5]);
+        assert!(DeltaSidecar::from_sorted_parts(vec![2, 1], vec![]).is_none());
+        assert!(DeltaSidecar::from_sorted_parts(vec![], vec![9, 3]).is_none());
+    }
+
+    #[test]
+    fn compose_preserves_sequential_semantics() {
+        // Earlier sidecar: insert 4, tombstone 7.
+        let mut earlier = DeltaSidecar::new();
+        earlier.insert(4);
+        earlier.add_tombstone(7);
+        // Later sidecar: insert 7 (revives the tombstoned value),
+        // tombstone 4 (consumes the earlier pending insert), insert 9.
+        let mut later = DeltaSidecar::new();
+        later.insert(7);
+        later.insert(9);
+        later.add_tombstone(4);
+        earlier.compose(&later);
+        // Net effect: only the insert of 9 survives.
+        assert_eq!(earlier.inserts(), &[9]);
+        assert_eq!(earlier.tombstones(), &[] as &[Value]);
+
+        // A later tombstone with no pending insert lands as a tombstone.
+        let mut base = DeltaSidecar::new();
+        let mut del = DeltaSidecar::new();
+        del.add_tombstone(3);
+        base.compose(&del);
+        assert_eq!(base.tombstones(), &[3]);
     }
 
     #[test]

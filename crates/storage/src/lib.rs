@@ -21,6 +21,10 @@
 //! * [`delta`] — the pending-mutation sidecar ([`DeltaSidecar`]): sorted
 //!   insert/tombstone multisets plus tombstone-aware scan composition, the
 //!   storage half of update/delete support on progressive indexes.
+//! * [`snapshot`] — the byte-level snapshot codec for [`Column`] and
+//!   [`DeltaSidecar`] state: bounds-checked, non-panicking decode of the
+//!   base-plus-sidecar pairs the durability layer (`pi-durable`)
+//!   persists.
 //! * [`encoding`] — order-preserving key encodings ([`OrderedKey`]) that
 //!   open float, signed-integer and string-prefix key domains over the
 //!   same `u64` core: encode keys going in, decode answers coming out,
@@ -52,6 +56,7 @@ pub mod delta;
 pub mod encoding;
 pub mod scan;
 pub mod shard;
+pub mod snapshot;
 pub mod sorted;
 
 pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};

@@ -23,6 +23,8 @@
 //! * [`obs`] — in-tree observability: sharded counters, log-bucketed
 //!   latency histograms, the metrics registry and its JSON / Prometheus
 //!   exports ([`pi_obs`]).
+//! * [`durable`] — write-ahead logging, column snapshots and crash
+//!   recovery for the engine's tables ([`pi_durable`]).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
@@ -31,6 +33,7 @@
 
 pub use pi_core as index;
 pub use pi_cracking as cracking;
+pub use pi_durable as durable;
 pub use pi_engine as engine;
 pub use pi_experiments as experiments;
 pub use pi_obs as obs;
