@@ -31,12 +31,17 @@ use pi_durable::wal::{FileWal, FsyncPolicy, MemWalHandle};
 use pi_engine::typed::{TableKey, TypedColumnSpec, TypedExecutor, TypedQuery, TypedTable};
 use pi_engine::{ColumnSpec, Executor, ExecutorConfig, Table, TableQuery, TableServer};
 use pi_engine::{DurabilityConfig, DurableTable};
+use pi_engine::{
+    ErasedColumn, ErasedKey, GroupedQuery, MultiColumnSpec, MultiExecutor, MultiTable, PlanMode,
+    Predicate,
+};
 use pi_obs::MetricsRegistry;
 use pi_sched::ServerConfig;
 use pi_workloads::closed_loop::{self, BatchOutcome, LatencyPercentiles};
 use pi_workloads::domains;
 use pi_workloads::mixed::{self, MixedOp, MixedSpec, WriteOp};
 use pi_workloads::multi_client::{self, MultiClientSpec, PatternAssignment};
+use pi_workloads::multicol;
 use pi_workloads::{data, Distribution, WorkloadSpec};
 
 const CLIENT_THREADS: usize = 4;
@@ -669,6 +674,114 @@ fn bench_typed_domains(
     });
 }
 
+/// Multi-column serving. Two sub-groups, single-client like `mixed` (so
+/// `queries_per_second` is conjunctions- or grouped-queries-per-second;
+/// compare `multicolumn` entries only against each other):
+///
+/// * `conjunctions` — the skewed-selectivity sweep: every conjunction
+///   pairs a ~90%-selective predicate on column `a` with a
+///   ~0.1%-selective predicate on column `b`. The `planned`
+///   configuration lets the planner pick the driving column (it drives
+///   `b`); `first_predicate` is the always-scan-first-column baseline
+///   that drives `a` and validates ~900× the survivors. The planner
+///   must beat the baseline here — that is the acceptance gate for the
+///   planning layer.
+/// * `grouped` — `SUM/COUNT/MIN/MAX GROUP BY bucket` over the sub-shard
+///   digest trees: `fresh` rebuilds a table (and thus every per-shard
+///   tree) each sample, `cached` re-serves the same queries from a
+///   warmed aggregate cache whose mutation stamps are still current.
+fn bench_multicolumn(
+    c: &Criterion,
+    latency_out: &mut Vec<(String, LatencySummary)>,
+    params: BenchParams,
+) {
+    const MODES: [(&str, PlanMode); 2] = [
+        ("planned", PlanMode::Planned),
+        ("first_predicate", PlanMode::FirstPredicate),
+    ];
+    let domain = params.rows as u64;
+    let columns = multicol::u64_columns(2, params.rows, domain, 89);
+    let conjunctions =
+        multicol::conjunction_ranges(&[0.9, 0.001], domain, params.queries_per_client, 91);
+    let build = || {
+        Arc::new(
+            MultiTable::builder()
+                .column(
+                    MultiColumnSpec::new("a", ErasedColumn::U64(columns[0].clone())).with_shards(4),
+                )
+                .column(
+                    MultiColumnSpec::new("b", ErasedColumn::U64(columns[1].clone())).with_shards(4),
+                )
+                .build(),
+        )
+    };
+    let config = ExecutorConfig {
+        maintenance_steps: 2,
+        ..ExecutorConfig::default()
+    };
+    let ids = MODES
+        .iter()
+        .map(|(name, _)| format!("engine_throughput/multicolumn/conjunctions/{name}"))
+        .collect();
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        // Fresh table per sample: both configurations pay the same cold
+        // start, and the planner's ρ input starts from the same state.
+        let executor = MultiExecutor::with_config(build(), config).with_mode(MODES[i].1);
+        let mut latencies = Vec::new();
+        let start = Instant::now();
+        for conj in &conjunctions {
+            let submitted = Instant::now();
+            let predicates = [
+                Predicate::between_u64("a", conj[0].0, conj[0].1),
+                Predicate::between_u64("b", conj[1].0, conj[1].1),
+            ];
+            black_box(executor.execute(&predicates).expect("known columns"));
+            latencies.push(submitted.elapsed());
+        }
+        (start.elapsed(), LatencyPercentiles::from_samples(latencies))
+    });
+
+    const GROUPED: [&str; 2] = ["fresh", "cached"];
+    let width = (domain / 64).max(1);
+    let grouped_queries: Vec<GroupedQuery> =
+        multicol::conjunction_ranges(&[0.5], domain, params.queries_per_client, 93)
+            .into_iter()
+            .map(|conj| {
+                GroupedQuery::new(
+                    "a",
+                    ErasedKey::U64(conj[0].0),
+                    ErasedKey::U64(conj[0].1),
+                    width,
+                )
+            })
+            .collect();
+    let ids = GROUPED
+        .iter()
+        .map(|name| format!("engine_throughput/multicolumn/grouped/{name}"))
+        .collect();
+    let warmed = MultiExecutor::with_config(build(), config);
+    for query in &grouped_queries {
+        black_box(warmed.grouped(query).expect("known column"));
+    }
+    paired_rounds(c, latency_out, ids, params.rounds, |i| {
+        let fresh;
+        let executor = if GROUPED[i] == "fresh" {
+            fresh = MultiExecutor::with_config(build(), config);
+            &fresh
+        } else {
+            &warmed
+        };
+        let mut latencies = Vec::new();
+        let start = Instant::now();
+        for query in &grouped_queries {
+            let submitted = Instant::now();
+            black_box(executor.grouped(query).expect("known column"));
+            latencies.push(submitted.elapsed());
+        }
+        (start.elapsed(), LatencyPercentiles::from_samples(latencies))
+    });
+}
+
 /// One **instrumented** pass of the skewed-string configuration: a fresh
 /// `MetricsRegistry` is wired through table, executor and pool, and the
 /// engine's own convergence / phase metrics are sampled after every
@@ -827,6 +940,7 @@ fn main() {
     bench_durability_overhead(&c, &mut latency, params);
     bench_recovery_time(&c, &mut latency, params);
     bench_typed_domains(&c, &mut latency, params);
+    bench_multicolumn(&c, &mut latency, params);
     // The instrumented convergence pass runs in both modes (smoke keeps
     // the code path exercised) but only full runs persist it.
     let trace = convergence_trace(params);

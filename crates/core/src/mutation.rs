@@ -512,6 +512,25 @@ impl MutableIndex {
         }
     }
 
+    /// Answers `[low, high]` over the **live** multiset *without* mutating
+    /// any state: no inner refinement, no merge advancement, no metrics.
+    ///
+    /// Where [`MutableIndex::query`] probes the inner index (paying the
+    /// budgeted δ-slice of indexing work), `peek` scans the immutable base
+    /// snapshot directly and composes the frozen-merge and pending sidecars
+    /// on top — the same three-layer composition, so the answer is exactly
+    /// the live multiset at every refinement stage. This is the validation
+    /// probe the engine's conjunction planner uses against non-driving
+    /// columns: exact, shared-access (`&self`), and never perturbing the
+    /// refinement or merge schedule.
+    pub fn peek(&self, low: Value, high: Value) -> ScanResult {
+        let mut composed = pi_storage::scan::scan_range_sum(self.base.data(), low, high);
+        if let Some(merge) = &self.merge {
+            composed = merge.frozen.scan(low, high).apply_to(composed);
+        }
+        self.pending.scan(low, high).apply_to(composed)
+    }
+
     /// Progress snapshot. The phase and progress come from the inner
     /// index; `converged` reports the composite state (inner converged
     /// *and* no pending deltas), so a mutated converged index correctly

@@ -1,0 +1,373 @@
+//! The minimal column-erased key handle: heterogeneous column sets in
+//! one table.
+//!
+//! A [`TypedTable<K>`](crate::typed::TypedTable) is homogeneous — every
+//! column shares the key domain `K`. Multi-column conjunctions need to
+//! mix domains (`WHERE id BETWEEN .. AND temp BETWEEN .. AND name
+//! BETWEEN ..`), so this module erases `K` behind two small enums:
+//!
+//! * [`ErasedKey`] — one key of any supported domain (`u64`, `i64`,
+//!   `f64`, `String`), with its order-preserving code
+//!   ([`ErasedKey::to_code`]) and the **exact** same-domain comparison
+//!   ([`ErasedKey::cmp_same`]) the conjunction validator uses.
+//! * [`ErasedColumn`] — a row-aligned vector of keys of one domain,
+//!   storing the *full* typed keys. Candidate selection happens in code
+//!   space (a superset for prefix-encoded strings, by encoding
+//!   monotonicity); validation compares full keys, so prefix ties never
+//!   need a side table here.
+//!
+//! Sums stay capability-gated exactly like the typed facade's digest
+//! matrix: `u64`/`i64` sums are exact ([`ErasedSum`]), `f64` and
+//! `String` columns serve `COUNT` (and grouped `MIN`/`MAX` where the
+//! code decodes exactly) with `sum: None`.
+
+use std::cmp::Ordering;
+
+use pi_storage::encoding::OrderedKey;
+use pi_storage::Value;
+
+use crate::typed::TableKey;
+
+/// The key domain of an erased key or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDomain {
+    /// Unsigned 64-bit integers (identity encoding).
+    U64,
+    /// Signed 64-bit integers (sign-flip encoding).
+    I64,
+    /// IEEE-754 doubles (total-order encoding; NaN-free by policy).
+    F64,
+    /// Strings (8-byte prefix encoding; full keys kept for exactness).
+    Str,
+}
+
+/// One key of any supported domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErasedKey {
+    /// A `u64` key.
+    U64(u64),
+    /// An `i64` key.
+    I64(i64),
+    /// An `f64` key (must not be NaN, per the `f64` encoding policy).
+    F64(f64),
+    /// A string key.
+    Str(String),
+}
+
+impl ErasedKey {
+    /// The key's domain.
+    pub fn domain(&self) -> KeyDomain {
+        match self {
+            ErasedKey::U64(_) => KeyDomain::U64,
+            ErasedKey::I64(_) => KeyDomain::I64,
+            ErasedKey::F64(_) => KeyDomain::F64,
+            ErasedKey::Str(_) => KeyDomain::Str,
+        }
+    }
+
+    /// The key's order-preserving code in the `u64` core. For `Str` this
+    /// is the 8-byte prefix code: distinct strings can tie, so a code
+    /// range is a *superset* of the typed range — callers correct it with
+    /// [`ErasedKey::cmp_same`] validation.
+    pub fn to_code(&self) -> u64 {
+        match self {
+            ErasedKey::U64(v) => TableKey::to_code(v),
+            ErasedKey::I64(v) => TableKey::to_code(v),
+            ErasedKey::F64(v) => TableKey::to_code(v),
+            ErasedKey::Str(v) => TableKey::to_code(v),
+        }
+    }
+
+    /// Exact key order within one domain.
+    ///
+    /// # Panics
+    /// Panics on mixed domains — the table layer rejects cross-domain
+    /// predicates before comparisons can happen.
+    pub fn cmp_same(&self, other: &ErasedKey) -> Ordering {
+        match (self, other) {
+            (ErasedKey::U64(a), ErasedKey::U64(b)) => a.cmp(b),
+            (ErasedKey::I64(a), ErasedKey::I64(b)) => a.cmp(b),
+            (ErasedKey::F64(a), ErasedKey::F64(b)) => TableKey::key_cmp(a, b),
+            (ErasedKey::Str(a), ErasedKey::Str(b)) => a.as_bytes().cmp(b.as_bytes()),
+            (a, b) => panic!(
+                "cross-domain key comparison: {:?} vs {:?}",
+                a.domain(),
+                b.domain()
+            ),
+        }
+    }
+}
+
+/// A capability-gated exact sum over one erased column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErasedSum {
+    /// Sum of `u64` keys.
+    U64(u128),
+    /// Sum of `i64` keys.
+    I64(i128),
+}
+
+/// A row-aligned column of full typed keys, one domain per column.
+#[derive(Debug, Clone)]
+pub enum ErasedColumn {
+    /// `u64` keys.
+    U64(Vec<u64>),
+    /// `i64` keys.
+    I64(Vec<i64>),
+    /// `f64` keys (NaN-free by the `f64` encoding policy).
+    F64(Vec<f64>),
+    /// Full string keys.
+    Str(Vec<String>),
+}
+
+impl ErasedColumn {
+    /// The column's domain.
+    pub fn domain(&self) -> KeyDomain {
+        match self {
+            ErasedColumn::U64(_) => KeyDomain::U64,
+            ErasedColumn::I64(_) => KeyDomain::I64,
+            ErasedColumn::F64(_) => KeyDomain::F64,
+            ErasedColumn::Str(_) => KeyDomain::Str,
+        }
+    }
+
+    /// Whether the domain's code ranges can over-select (distinct keys
+    /// tying on a code): `true` only for `Str`.
+    pub fn prefix_encoded(&self) -> bool {
+        matches!(self, ErasedColumn::Str(_))
+    }
+
+    /// Whether erased sums are exact in this domain.
+    pub fn sum_supported(&self) -> bool {
+        matches!(self, ErasedColumn::U64(_) | ErasedColumn::I64(_))
+    }
+
+    /// Number of rows (live and dead — row stores keep rows in place).
+    pub fn len(&self) -> usize {
+        match self {
+            ErasedColumn::U64(v) => v.len(),
+            ErasedColumn::I64(v) => v.len(),
+            ErasedColumn::F64(v) => v.len(),
+            ErasedColumn::Str(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key at `row`.
+    pub fn key_at(&self, row: usize) -> ErasedKey {
+        match self {
+            ErasedColumn::U64(v) => ErasedKey::U64(v[row]),
+            ErasedColumn::I64(v) => ErasedKey::I64(v[row]),
+            ErasedColumn::F64(v) => ErasedKey::F64(v[row]),
+            ErasedColumn::Str(v) => ErasedKey::Str(v[row].clone()),
+        }
+    }
+
+    /// The key's code at `row` (no clone — the hot candidate-scan path).
+    pub fn code_at(&self, row: usize) -> Value {
+        match self {
+            ErasedColumn::U64(v) => TableKey::to_code(&v[row]),
+            ErasedColumn::I64(v) => TableKey::to_code(&v[row]),
+            ErasedColumn::F64(v) => TableKey::to_code(&v[row]),
+            ErasedColumn::Str(v) => TableKey::to_code(&v[row]),
+        }
+    }
+
+    /// Exact typed test of `low ≤ key(row) ≤ high` (the conjunction
+    /// validator; full-key order, so string prefix ties resolve exactly).
+    ///
+    /// # Panics
+    /// Panics when the bounds' domain differs from the column's.
+    pub fn matches(&self, row: usize, low: &ErasedKey, high: &ErasedKey) -> bool {
+        match (self, low, high) {
+            (ErasedColumn::U64(v), ErasedKey::U64(lo), ErasedKey::U64(hi)) => {
+                (lo..=hi).contains(&&v[row])
+            }
+            (ErasedColumn::I64(v), ErasedKey::I64(lo), ErasedKey::I64(hi)) => {
+                (lo..=hi).contains(&&v[row])
+            }
+            (ErasedColumn::F64(v), ErasedKey::F64(lo), ErasedKey::F64(hi)) => {
+                TableKey::key_cmp(&v[row], lo) != Ordering::Less
+                    && TableKey::key_cmp(&v[row], hi) != Ordering::Greater
+            }
+            (ErasedColumn::Str(v), ErasedKey::Str(lo), ErasedKey::Str(hi)) => {
+                let key = v[row].as_bytes();
+                key >= lo.as_bytes() && key <= hi.as_bytes()
+            }
+            _ => panic!(
+                "predicate domain {:?}/{:?} does not match column domain {:?}",
+                low.domain(),
+                high.domain(),
+                self.domain()
+            ),
+        }
+    }
+
+    /// Appends a key.
+    ///
+    /// # Panics
+    /// Panics when the key's domain differs from the column's.
+    pub fn push(&mut self, key: ErasedKey) {
+        match (self, key) {
+            (ErasedColumn::U64(v), ErasedKey::U64(k)) => v.push(k),
+            (ErasedColumn::I64(v), ErasedKey::I64(k)) => v.push(k),
+            (ErasedColumn::F64(v), ErasedKey::F64(k)) => v.push(k),
+            (ErasedColumn::Str(v), ErasedKey::Str(k)) => v.push(k),
+            (col, key) => panic!(
+                "key domain {:?} does not match column domain {:?}",
+                key.domain(),
+                col.domain()
+            ),
+        }
+    }
+
+    /// Replaces the key at `row`, returning the previous key.
+    ///
+    /// # Panics
+    /// Panics when the key's domain differs from the column's.
+    pub fn replace(&mut self, row: usize, key: ErasedKey) -> ErasedKey {
+        match (self, key) {
+            (ErasedColumn::U64(v), ErasedKey::U64(k)) => {
+                ErasedKey::U64(std::mem::replace(&mut v[row], k))
+            }
+            (ErasedColumn::I64(v), ErasedKey::I64(k)) => {
+                ErasedKey::I64(std::mem::replace(&mut v[row], k))
+            }
+            (ErasedColumn::F64(v), ErasedKey::F64(k)) => {
+                ErasedKey::F64(std::mem::replace(&mut v[row], k))
+            }
+            (ErasedColumn::Str(v), ErasedKey::Str(k)) => {
+                ErasedKey::Str(std::mem::replace(&mut v[row], k))
+            }
+            (col, key) => panic!(
+                "key domain {:?} does not match column domain {:?}",
+                key.domain(),
+                col.domain()
+            ),
+        }
+    }
+
+    /// Adds the key at `row` into `sum` (capability-gated: `None` stays
+    /// `None` for domains without exact sums).
+    pub fn add_to_sum(&self, row: usize, sum: &mut Option<ErasedSum>) {
+        match (self, &mut *sum) {
+            (ErasedColumn::U64(v), Some(ErasedSum::U64(acc))) => *acc += v[row] as u128,
+            (ErasedColumn::I64(v), Some(ErasedSum::I64(acc))) => *acc += v[row] as i128,
+            _ => {}
+        }
+    }
+
+    /// The domain's zero sum, `None` where sums are unsupported.
+    pub fn zero_sum(&self) -> Option<ErasedSum> {
+        match self {
+            ErasedColumn::U64(_) => Some(ErasedSum::U64(0)),
+            ErasedColumn::I64(_) => Some(ErasedSum::I64(0)),
+            ErasedColumn::F64(_) | ErasedColumn::Str(_) => None,
+        }
+    }
+
+    /// The row-order codes of every key (the encoded column the inner
+    /// `u64` engine indexes).
+    pub fn codes(&self) -> Vec<Value> {
+        match self {
+            ErasedColumn::U64(v) => v.iter().map(TableKey::to_code).collect(),
+            ErasedColumn::I64(v) => v.iter().map(TableKey::to_code).collect(),
+            ErasedColumn::F64(v) => v.iter().map(TableKey::to_code).collect(),
+            ErasedColumn::Str(v) => v.iter().map(TableKey::to_code).collect(),
+        }
+    }
+
+    /// Decodes a code back into the column's key domain — exact for
+    /// `u64`/`i64`/`f64` (injective encodings), `None` for `Str` (an
+    /// 8-byte prefix does not determine the full key). Grouped-aggregate
+    /// `MIN`/`MAX` cells use this, so string groups serve `COUNT` only.
+    pub fn decode_code(&self, code: Value) -> Option<ErasedKey> {
+        match self {
+            ErasedColumn::U64(_) => Some(ErasedKey::U64(code)),
+            ErasedColumn::I64(_) => Some(ErasedKey::I64(<i64 as OrderedKey>::decode(code))),
+            ErasedColumn::F64(_) => Some(ErasedKey::F64(<f64 as OrderedKey>::decode(code))),
+            ErasedColumn::Str(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_preserve_each_domain_order() {
+        let i = ErasedColumn::I64(vec![-5, 0, 7]);
+        let f = ErasedColumn::F64(vec![-1.5, 0.0, 2.25]);
+        for col in [&i, &f] {
+            let codes: Vec<u64> = (0..col.len()).map(|r| col.code_at(r)).collect();
+            let mut sorted = codes.clone();
+            sorted.sort_unstable();
+            assert_eq!(codes, sorted, "{:?}", col.domain());
+        }
+    }
+
+    #[test]
+    fn string_prefix_codes_tie_but_full_keys_do_not() {
+        let col = ErasedColumn::Str(vec![
+            "progressive".into(),
+            "progressive-index".into(),
+            "quicksort".into(),
+        ]);
+        assert_eq!(col.code_at(0), col.code_at(1), "8-byte prefix ties");
+        // Code-range candidate selection over-selects…
+        let low = ErasedKey::Str("progressive-a".into());
+        let high = ErasedKey::Str("progressive-z".into());
+        assert!((low.to_code()..=high.to_code()).contains(&col.code_at(0)));
+        // …and exact validation corrects it.
+        assert!(!col.matches(0, &low, &high));
+        assert!(col.matches(1, &low, &high));
+        assert!(!col.matches(2, &low, &high));
+    }
+
+    #[test]
+    fn sums_are_capability_gated() {
+        let u = ErasedColumn::U64(vec![3, 4]);
+        let mut sum = u.zero_sum();
+        u.add_to_sum(0, &mut sum);
+        u.add_to_sum(1, &mut sum);
+        assert_eq!(sum, Some(ErasedSum::U64(7)));
+
+        let i = ErasedColumn::I64(vec![-10, 4]);
+        let mut sum = i.zero_sum();
+        i.add_to_sum(0, &mut sum);
+        i.add_to_sum(1, &mut sum);
+        assert_eq!(sum, Some(ErasedSum::I64(-6)));
+
+        for col in [
+            ErasedColumn::F64(vec![1.0]),
+            ErasedColumn::Str(vec!["a".into()]),
+        ] {
+            let mut sum = col.zero_sum();
+            assert_eq!(sum, None);
+            col.add_to_sum(0, &mut sum);
+            assert_eq!(sum, None);
+        }
+    }
+
+    #[test]
+    fn decode_is_exact_for_injective_domains_only() {
+        let f = ErasedColumn::F64(vec![-3.75]);
+        assert_eq!(f.decode_code(f.code_at(0)), Some(ErasedKey::F64(-3.75)));
+        let i = ErasedColumn::I64(vec![-42]);
+        assert_eq!(i.decode_code(i.code_at(0)), Some(ErasedKey::I64(-42)));
+        let s = ErasedColumn::Str(vec!["hello".into()]);
+        assert_eq!(s.decode_code(s.code_at(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match column domain")]
+    fn cross_domain_predicates_rejected() {
+        let col = ErasedColumn::U64(vec![1]);
+        let _ = col.matches(0, &ErasedKey::F64(0.0), &ErasedKey::F64(1.0));
+    }
+}

@@ -81,6 +81,12 @@ pub enum EngineError {
     /// wrapped [`crate::durability::DurabilityError`], stringified so
     /// the error stays `Clone`).
     Durability(String),
+    /// A conjunction carried no predicates (the multi-column layer
+    /// refuses to guess between "all rows" and "no rows").
+    EmptyConjunction,
+    /// A predicate's key domain does not match its column's domain
+    /// (e.g. float bounds against a string column).
+    DomainMismatch(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -88,6 +94,10 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
             EngineError::Durability(what) => write!(f, "durability failure: {what}"),
+            EngineError::EmptyConjunction => write!(f, "conjunction has no predicates"),
+            EngineError::DomainMismatch(column) => {
+                write!(f, "predicate key domain does not match column {column:?}")
+            }
         }
     }
 }

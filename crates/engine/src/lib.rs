@@ -45,6 +45,18 @@
 //!   order at every refinement stage (string boundary ties resolved by
 //!   an exact-match side path), and SUM digests are capability-gated to
 //!   the domains that can decode them.
+//! * **Multi-column queries** — [`multicol::MultiTable`] and
+//!   [`multicol::MultiExecutor`] turn independently-refined columns into
+//!   a small progressive database: conjunctions
+//!   (`WHERE a BETWEEN .. AND b BETWEEN ..`) are planned by
+//!   [`planner`] (drive the estimated-cheapest column through the
+//!   shard-parallel path, validate survivors exactly against the other
+//!   predicates' full typed keys), heterogeneous column sets mix
+//!   u64/i64/f64/string domains through the column-erased handle
+//!   ([`erased::ErasedColumn`]), and grouped aggregates
+//!   (`SUM/COUNT/MIN/MAX GROUP BY bucket`) are answered from sub-shard
+//!   [`pi_storage::DigestTree`]s behind a hot-range aggregate cache
+//!   invalidated by per-shard mutation counters.
 //! * **Durability** — [`durability::DurableTable`] write-ahead logs every
 //!   mutation batch, checkpoints each column as its merged base snapshot
 //!   plus pending sidecar ("log the delta, snapshot the merged base"),
@@ -95,13 +107,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod durability;
+pub mod erased;
 pub mod executor;
+pub mod multicol;
+pub mod planner;
 pub mod stats;
 pub mod table;
 pub mod typed;
 
 pub use durability::{DurabilityConfig, DurabilityError, DurableTable, RecoveryReport};
+pub use erased::{ErasedColumn, ErasedKey, ErasedSum, KeyDomain};
 pub use executor::{EngineError, Executor, ExecutorConfig, TableQuery};
+pub use multicol::{
+    ConjunctionAnswer, GroupRow, GroupedQuery, MultiColumnSpec, MultiExecutor, MultiTable,
+    PlanMode, Predicate, RowMutation,
+};
+pub use planner::{choose_driving, Plan, PredicateStats, RHO_WEIGHT};
 pub use stats::{estimate_distribution, WorkloadStats};
 pub use table::{AlgorithmChoice, ColumnSpec, Shard, ShardedColumn, Table, TableBuilder};
 pub use typed::{

@@ -1,0 +1,841 @@
+//! Multi-column queries over progressive indexes: conjunctive
+//! predicates and grouped aggregates.
+//!
+//! The paper evaluates each progressive index on single-column range
+//! scans; this module turns a set of independently-refined columns into
+//! a small progressive *database*:
+//!
+//! * [`MultiTable`] — a row store of heterogeneous columns
+//!   ([`ErasedColumn`]: u64 / i64 / f64 / string) kept row-aligned under
+//!   one `RwLock`, wrapping an inner `u64` [`Table`] that indexes each
+//!   column's order-preserving codes. Row mutations
+//!   ([`RowMutation`]) update both sides under the write lock, so the
+//!   row store and the shard multisets always agree.
+//! * [`MultiExecutor`] — executes conjunctions
+//!   (`WHERE a BETWEEN .. AND b BETWEEN ..`) as *drive one column,
+//!   validate the rest*: the [`planner`](crate::planner) picks the
+//!   driving predicate from estimated selectivity + refinement state ρ,
+//!   the driving scan goes through the normal shard-parallel
+//!   [`Executor`] path (paying the paper's per-query δ of refinement
+//!   work), and every surviving row is validated **exactly** against
+//!   all predicates over the full typed keys. Answers are exact at
+//!   every refinement stage and under concurrent mutation.
+//! * Grouped aggregates ([`MultiExecutor::grouped`]) —
+//!   `SUM/COUNT/MIN/MAX GROUP BY bucket` answered from per-shard
+//!   [`DigestTree`]s behind a hot-range [`AggregateCache`], invalidated
+//!   through the per-shard mutation counters
+//!   ([`ShardedColumn::shard_mutation_count`]): a completed write bumps
+//!   the counter before releasing its shard lock, so a later read can
+//!   never serve the pre-mutation digest.
+//!
+//! ## Exactness under concurrency
+//!
+//! Conjunction reads hold the row store's read lock across the driving
+//! scan and validation; writers hold the write lock across both the row
+//! store update and the inner shard mutations. Lock order is always
+//! `row store → shard mutex`, on both paths, so there is no deadlock
+//! and every conjunction observes a consistent row-store/shard state.
+//! Validation compares **full typed keys** — prefix-encoded string
+//! candidates over-selected in code space are corrected here, which is
+//! also why predicate order can never change a result set.
+//!
+//! ## Grouped-aggregate semantics
+//!
+//! Groups are **whole grid buckets** in code space: bucket `b` of width
+//! `w` covers codes `[b·w, (b+1)·w)`, and a bucket participates as soon
+//! as the query range touches it. Cells are exact over the bucket's
+//! live rows. `SUM` decodes exactly for `u64`/`i64` columns, `MIN`/`MAX`
+//! decode exactly for every injective encoding (`u64`/`i64`/`f64`);
+//! string groups serve `COUNT` only (an 8-byte prefix code does not
+//! determine the full key).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use pi_core::budget::BudgetPolicy;
+use pi_core::mutation::Mutation;
+use pi_obs::{Counter, MetricsRegistry};
+use pi_storage::digest::{bucket_of, DigestTree};
+use pi_storage::encoding::OrderedKey;
+use pi_storage::scan::ScanResult;
+use pi_storage::Value;
+
+use crate::erased::{ErasedColumn, ErasedKey, ErasedSum};
+use crate::executor::{EngineError, Executor, ExecutorConfig, TableQuery};
+use crate::planner::{choose_driving, Plan, PredicateStats};
+use crate::table::{AlgorithmChoice, ColumnSpec, ShardedColumn, Table};
+
+/// Specification of one (possibly heterogeneous) column of a
+/// [`MultiTable`].
+#[derive(Debug, Clone)]
+pub struct MultiColumnSpec {
+    /// Column name used to address predicates.
+    pub name: String,
+    /// The column's full typed keys, in row order.
+    pub keys: ErasedColumn,
+    /// Number of range shards for the inner code index.
+    pub shards: usize,
+    /// Per-shard indexing budget policy.
+    pub policy: BudgetPolicy,
+    /// Algorithm selection for the inner code index.
+    pub choice: AlgorithmChoice,
+}
+
+impl MultiColumnSpec {
+    /// A column with default sharding, budget and algorithm selection.
+    pub fn new(name: impl Into<String>, keys: ErasedColumn) -> Self {
+        MultiColumnSpec {
+            name: name.into(),
+            keys,
+            shards: 4,
+            policy: BudgetPolicy::FixedDelta(0.25),
+            choice: AlgorithmChoice::default(),
+        }
+    }
+
+    /// Sets the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard budget policy (builder style).
+    pub fn with_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the algorithm selection (builder style).
+    pub fn with_choice(mut self, choice: AlgorithmChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+}
+
+/// The row-aligned side of a [`MultiTable`]: full typed keys per column,
+/// plus the live bitmap. Rows are append-only — a delete marks its slot
+/// dead, an update replaces keys in place — so a row id stays stable for
+/// the table's lifetime.
+struct RowStore {
+    columns: Vec<ErasedColumn>,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+/// A mutation addressed to one **row** of a [`MultiTable`].
+#[derive(Debug, Clone)]
+pub enum RowMutation {
+    /// Appends a row (one key per column, in column order). Always
+    /// applies; the new row's id is the append index.
+    Insert(Vec<ErasedKey>),
+    /// Marks row `0` dead and removes its values from every column's
+    /// index. Rejected (returns `false`) when the row is dead or out of
+    /// range.
+    Delete(usize),
+    /// Replaces the row's keys in place (same row id). Rejected when the
+    /// row is dead or out of range.
+    Update {
+        /// The row to update.
+        row: usize,
+        /// The row's new keys (one per column, in column order).
+        keys: Vec<ErasedKey>,
+    },
+}
+
+/// One `BETWEEN` predicate of a conjunction.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// The predicate's column.
+    pub column: String,
+    /// Lower bound (inclusive), in the column's key domain.
+    pub low: ErasedKey,
+    /// Upper bound (inclusive); `low > high` is the empty range.
+    pub high: ErasedKey,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(column: impl Into<String>, low: ErasedKey, high: ErasedKey) -> Self {
+        Predicate {
+            column: column.into(),
+            low,
+            high,
+        }
+    }
+
+    /// Convenience constructor for `u64` bounds.
+    pub fn between_u64(column: impl Into<String>, low: u64, high: u64) -> Self {
+        Predicate::new(column, ErasedKey::U64(low), ErasedKey::U64(high))
+    }
+}
+
+/// The exact answer to one conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctionAnswer {
+    /// Number of live rows satisfying **every** predicate.
+    pub count: u64,
+    /// Per-predicate-column sums over the surviving rows, aligned with
+    /// the conjunction's predicate order; `None` where the column's
+    /// domain has no exact sum (f64, string).
+    pub sums: Vec<Option<ErasedSum>>,
+    /// Index of the predicate that drove the scan (observability; the
+    /// result set never depends on it).
+    pub driving: usize,
+}
+
+/// How the executor picks the driving predicate of a conjunction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Score every predicate (selectivity + refinement state) and drive
+    /// the cheapest — the planner the bench sweep measures.
+    #[default]
+    Planned,
+    /// Always drive the first predicate — the baseline the planner is
+    /// measured against.
+    FirstPredicate,
+}
+
+/// One group's aggregate row, decoded into the column's key domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// The grid bucket (codes `[bucket·width, (bucket+1)·width)`).
+    pub bucket: u64,
+    /// Live rows in the bucket.
+    pub count: u64,
+    /// Exact sum of the bucket's keys; `None` where the domain has no
+    /// exact sum (f64, string).
+    pub sum: Option<ErasedSum>,
+    /// Smallest key in the bucket; `None` for string columns (prefix
+    /// codes do not determine full keys).
+    pub min: Option<ErasedKey>,
+    /// Largest key in the bucket; `None` for string columns.
+    pub max: Option<ErasedKey>,
+}
+
+/// A heterogeneous multi-column table: the row-aligned typed store plus
+/// the inner `u64` [`Table`] of progressive code indexes.
+pub struct MultiTable {
+    inner: Arc<Table>,
+    names: Vec<String>,
+    store: RwLock<RowStore>,
+}
+
+/// Builder for [`MultiTable`].
+#[derive(Default)]
+pub struct MultiTableBuilder {
+    specs: Vec<MultiColumnSpec>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl MultiTableBuilder {
+    /// Adds a column.
+    pub fn column(mut self, spec: MultiColumnSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Registers the inner table's index metrics in `registry` (see
+    /// [`crate::table::TableBuilder::metrics`]).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Builds the table.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names, on columns of unequal row
+    /// counts, and on an empty column list.
+    pub fn build(self) -> MultiTable {
+        assert!(!self.specs.is_empty(), "a table needs at least one column");
+        let rows = self.specs[0].keys.len();
+        let mut builder = Table::builder();
+        let mut names = Vec::with_capacity(self.specs.len());
+        let mut columns = Vec::with_capacity(self.specs.len());
+        for spec in self.specs {
+            assert_eq!(
+                spec.keys.len(),
+                rows,
+                "column {:?} must hold the same row count as its siblings",
+                spec.name
+            );
+            builder = builder.column(
+                ColumnSpec::new(spec.name.clone(), spec.keys.codes())
+                    .with_shards(spec.shards)
+                    .with_policy(spec.policy)
+                    .with_choice(spec.choice),
+            );
+            names.push(spec.name);
+            columns.push(spec.keys);
+        }
+        if let Some(registry) = self.metrics {
+            builder = builder.metrics(registry);
+        }
+        MultiTable {
+            inner: Arc::new(builder.build()),
+            names,
+            store: RwLock::new(RowStore {
+                columns,
+                live: vec![true; rows],
+                live_count: rows,
+            }),
+        }
+    }
+}
+
+impl MultiTable {
+    /// Starts building a table.
+    pub fn builder() -> MultiTableBuilder {
+        MultiTableBuilder::default()
+    }
+
+    /// The inner `u64` table of code indexes. **All writes must go
+    /// through [`MultiTable::apply_rows`]** — mutating the inner table
+    /// directly desynchronises it from the row store.
+    pub fn inner(&self) -> &Arc<Table> {
+        &self.inner
+    }
+
+    /// Column names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        self.store.read().expect("row store poisoned").live_count
+    }
+
+    /// Applies a batch of row mutations in order, under one row-store
+    /// write lock. Returns the per-mutation applied flags.
+    ///
+    /// # Panics
+    /// Panics when an insert/update's key list does not match the
+    /// table's column count or a key's domain does not match its
+    /// column's (programmer errors; dead/out-of-range rows are runtime
+    /// conditions and return `false`).
+    pub fn apply_rows(&self, mutations: &[RowMutation]) -> Vec<bool> {
+        let mut store = self.store.write().expect("row store poisoned");
+        mutations
+            .iter()
+            .map(|m| self.apply_row(&mut store, m))
+            .collect()
+    }
+
+    fn apply_row(&self, store: &mut RowStore, mutation: &RowMutation) -> bool {
+        match mutation {
+            RowMutation::Insert(keys) => {
+                assert_eq!(
+                    keys.len(),
+                    store.columns.len(),
+                    "insert arity must match the column count"
+                );
+                for (c, key) in keys.iter().enumerate() {
+                    let code = key.to_code();
+                    store.columns[c].push(key.clone());
+                    let applied = self.inner.columns()[c]
+                        .apply_mutations(std::slice::from_ref(&Mutation::Insert(code)));
+                    debug_assert_eq!(applied, vec![true], "inserts always apply");
+                }
+                store.live.push(true);
+                store.live_count += 1;
+                true
+            }
+            RowMutation::Delete(row) => {
+                let row = *row;
+                if row >= store.live.len() || !store.live[row] {
+                    return false;
+                }
+                store.live[row] = false;
+                store.live_count -= 1;
+                for (c, column) in store.columns.iter().enumerate() {
+                    let code = column.code_at(row);
+                    let flags = self.inner.columns()[c]
+                        .apply_mutations(std::slice::from_ref(&Mutation::Delete(code)));
+                    debug_assert_eq!(
+                        flags,
+                        vec![true],
+                        "a live row's code must exist in its index"
+                    );
+                }
+                true
+            }
+            RowMutation::Update { row, keys } => {
+                let row = *row;
+                if row >= store.live.len() || !store.live[row] {
+                    return false;
+                }
+                assert_eq!(
+                    keys.len(),
+                    store.columns.len(),
+                    "update arity must match the column count"
+                );
+                for (c, key) in keys.iter().enumerate() {
+                    let new = key.to_code();
+                    let old_key = store.columns[c].replace(row, key.clone());
+                    let old = old_key.to_code();
+                    let flags = self.inner.columns()[c]
+                        .apply_mutations(std::slice::from_ref(&Mutation::Update { old, new }));
+                    debug_assert_eq!(
+                        flags,
+                        vec![true],
+                        "a live row's code must exist in its index"
+                    );
+                }
+                true
+            }
+        }
+    }
+
+    /// Resolves a column name to its position (row-store columns and
+    /// inner columns are built in the same order).
+    fn position(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// One predicate resolved against the table: column position and code
+/// bounds.
+struct Resolved {
+    pos: usize,
+    low_code: Value,
+    high_code: Value,
+    empty: bool,
+}
+
+/// The `planner.*` metric handles (always-live counters; registered only
+/// through [`MultiExecutor::with_metrics`]).
+struct PlannerObs {
+    /// `planner.conjunctions` — conjunctions executed.
+    conjunctions: Arc<Counter>,
+    /// `planner.survivors_validated` — candidate rows validated against
+    /// the non-driving predicates (the cost the planner minimises).
+    survivors_validated: Arc<Counter>,
+    /// `planner.agg.cache_hits` — grouped-aggregate digest trees served
+    /// from the cache.
+    agg_cache_hits: Arc<Counter>,
+    /// `planner.agg.cache_invalidations` — cached trees discarded
+    /// because a mutation bumped their shard's counter.
+    agg_cache_invalidations: Arc<Counter>,
+    /// `planner.driving.<column>` — driving-column choices, per column.
+    driving: HashMap<String, Arc<Counter>>,
+}
+
+impl PlannerObs {
+    fn register(registry: &MetricsRegistry, names: &[String]) -> Self {
+        PlannerObs {
+            conjunctions: registry.counter("planner.conjunctions"),
+            survivors_validated: registry.counter("planner.survivors_validated"),
+            agg_cache_hits: registry.counter("planner.agg.cache_hits"),
+            agg_cache_invalidations: registry.counter("planner.agg.cache_invalidations"),
+            driving: names
+                .iter()
+                .map(|name| {
+                    let metric = format!("planner.driving.{}", pi_obs::sanitize_component(name));
+                    (name.clone(), registry.counter(&metric))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A cached per-shard digest tree and the shard-mutation stamp it was
+/// built at.
+struct CacheSlot {
+    stamp: u64,
+    tree: Arc<DigestTree>,
+}
+
+/// The hot-range aggregate cache: per `(column, shard, width)` digest
+/// trees, each stamped with the shard's mutation counter at build time.
+///
+/// **Invariant:** a slot is served only while its stamp equals the
+/// shard's current [`ShardedColumn::shard_mutation_count`]. Writers bump
+/// that counter *before* releasing the shard lock
+/// ([`ShardedColumn::apply_shard_ops`]), and builds capture stamp and
+/// live values under one lock acquisition
+/// ([`ShardedColumn::digest_tree`]) — so once a write completes, no
+/// later read can serve the pre-mutation digest.
+pub struct AggregateCache {
+    slots: Mutex<HashMap<(usize, usize, Value), CacheSlot>>,
+}
+
+impl AggregateCache {
+    fn new() -> Self {
+        AggregateCache {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of cached per-shard trees.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("aggregate cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_build(
+        &self,
+        column: &ShardedColumn,
+        pos: usize,
+        shard: usize,
+        width: Value,
+        obs: Option<&PlannerObs>,
+    ) -> Arc<DigestTree> {
+        let key = (pos, shard, width);
+        {
+            let slots = self.slots.lock().expect("aggregate cache poisoned");
+            if let Some(slot) = slots.get(&key) {
+                if slot.stamp == column.shard_mutation_count(shard) {
+                    if let Some(obs) = obs {
+                        obs.agg_cache_hits.inc();
+                    }
+                    return Arc::clone(&slot.tree);
+                }
+            }
+        }
+        // Build outside the cache lock — the shard lock inside
+        // `digest_tree` is the contended one. Concurrent builders may
+        // both insert; each tree is exact for its stamp, and a stale
+        // last-writer is caught by the stamp check on the next read.
+        let (stamp, tree) = column.digest_tree(shard, width);
+        let tree = Arc::new(tree);
+        let mut slots = self.slots.lock().expect("aggregate cache poisoned");
+        let prior = slots.insert(
+            key,
+            CacheSlot {
+                stamp,
+                tree: Arc::clone(&tree),
+            },
+        );
+        if let Some(obs) = obs {
+            if prior.is_some_and(|p| p.stamp != stamp) {
+                obs.agg_cache_invalidations.inc();
+            }
+        }
+        tree
+    }
+}
+
+/// A grouped-aggregate query: `SUM/COUNT/MIN/MAX(column) WHERE column
+/// BETWEEN low AND high GROUP BY bucket(width)`, buckets drawn on the
+/// global code grid.
+#[derive(Debug, Clone)]
+pub struct GroupedQuery {
+    /// The aggregated column.
+    pub column: String,
+    /// Lower bound (inclusive), in the column's key domain.
+    pub low: ErasedKey,
+    /// Upper bound (inclusive); `low > high` selects no buckets.
+    pub high: ErasedKey,
+    /// Grid bucket width, in code space; must be positive.
+    pub bucket_width: Value,
+}
+
+impl GroupedQuery {
+    /// Creates a grouped query.
+    pub fn new(
+        column: impl Into<String>,
+        low: ErasedKey,
+        high: ErasedKey,
+        bucket_width: Value,
+    ) -> Self {
+        GroupedQuery {
+            column: column.into(),
+            low,
+            high,
+            bucket_width,
+        }
+    }
+}
+
+/// Executes conjunctions and grouped aggregates over a [`MultiTable`],
+/// driving the inner shard-parallel [`Executor`] for the scan that pays
+/// the paper's per-query indexing budget.
+pub struct MultiExecutor {
+    table: Arc<MultiTable>,
+    exec: Executor,
+    mode: PlanMode,
+    agg_cache: AggregateCache,
+    obs: Option<PlannerObs>,
+}
+
+impl MultiExecutor {
+    /// Creates an executor with the default configuration.
+    pub fn new(table: Arc<MultiTable>) -> Self {
+        Self::with_config(table, ExecutorConfig::default())
+    }
+
+    /// Creates an executor with an explicit inner-executor configuration.
+    pub fn with_config(table: Arc<MultiTable>, config: ExecutorConfig) -> Self {
+        let exec = Executor::with_config(Arc::clone(table.inner()), config);
+        MultiExecutor {
+            table,
+            exec,
+            mode: PlanMode::default(),
+            agg_cache: AggregateCache::new(),
+            obs: None,
+        }
+    }
+
+    /// Creates an executor whose `planner.*` metrics (conjunctions,
+    /// survivors validated, driving-column choices, aggregate-cache hits
+    /// and invalidations) — and the inner executor's `executor.*`
+    /// metrics — land in `registry`.
+    pub fn with_metrics(
+        table: Arc<MultiTable>,
+        config: ExecutorConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let obs = PlannerObs::register(&registry, table.names());
+        let exec = Executor::with_metrics(Arc::clone(table.inner()), config, registry);
+        MultiExecutor {
+            table,
+            exec,
+            mode: PlanMode::default(),
+            agg_cache: AggregateCache::new(),
+            obs: Some(obs),
+        }
+    }
+
+    /// Sets the planning mode (builder style). [`PlanMode::Planned`] is
+    /// the default; [`PlanMode::FirstPredicate`] is the baseline the
+    /// bench sweep measures the planner against.
+    pub fn with_mode(mut self, mode: PlanMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The table this executor serves.
+    pub fn table(&self) -> &Arc<MultiTable> {
+        &self.table
+    }
+
+    /// The inner `u64` executor (driving scans and maintenance).
+    pub fn inner(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The grouped-aggregate cache (size introspection for tests and
+    /// operators).
+    pub fn aggregate_cache(&self) -> &AggregateCache {
+        &self.agg_cache
+    }
+
+    /// Applies a batch of row mutations (see [`MultiTable::apply_rows`]).
+    pub fn apply_rows(&self, mutations: &[RowMutation]) -> Vec<bool> {
+        self.table.apply_rows(mutations)
+    }
+
+    /// Runs inner maintenance until every shard of every column has
+    /// converged or `max_steps` is exhausted; returns steps performed.
+    pub fn drive_to_convergence(&self, max_steps: usize) -> usize {
+        self.exec.drive_to_convergence(max_steps)
+    }
+
+    /// Resolves and validates a conjunction's predicates against the row
+    /// store.
+    fn resolve(
+        &self,
+        store: &RowStore,
+        predicates: &[Predicate],
+    ) -> Result<Vec<Resolved>, EngineError> {
+        if predicates.is_empty() {
+            return Err(EngineError::EmptyConjunction);
+        }
+        predicates
+            .iter()
+            .map(|p| {
+                let pos = self
+                    .table
+                    .position(&p.column)
+                    .ok_or_else(|| EngineError::UnknownColumn(p.column.clone()))?;
+                let column = &store.columns[pos];
+                if p.low.domain() != column.domain() || p.high.domain() != column.domain() {
+                    return Err(EngineError::DomainMismatch(p.column.clone()));
+                }
+                Ok(Resolved {
+                    pos,
+                    low_code: p.low.to_code(),
+                    high_code: p.high.to_code(),
+                    empty: p.low.cmp_same(&p.high) == std::cmp::Ordering::Greater,
+                })
+            })
+            .collect()
+    }
+
+    /// The planner's decision inputs for each predicate, gathered
+    /// lock-free from the inner columns' digests and ρ caches.
+    fn gather_stats(&self, resolved: &[Resolved], predicates: &[Predicate]) -> Vec<PredicateStats> {
+        resolved
+            .iter()
+            .zip(predicates)
+            .map(|(r, p)| {
+                let column = &self.table.inner.columns()[r.pos];
+                PredicateStats {
+                    column: p.column.clone(),
+                    selectivity: column.estimate_selectivity(r.low_code, r.high_code),
+                    rho: column.rho_estimate(),
+                }
+            })
+            .collect()
+    }
+
+    /// Plans a conjunction without executing it: the driving choice and
+    /// the per-predicate decision inputs behind it (for tests,
+    /// `EXPLAIN`-style introspection and observability).
+    pub fn plan(&self, predicates: &[Predicate]) -> Result<Plan, EngineError> {
+        let store = self.table.store.read().expect("row store poisoned");
+        let resolved = self.resolve(&store, predicates)?;
+        Ok(choose_driving(self.gather_stats(&resolved, predicates)))
+    }
+
+    /// Executes a conjunction: every predicate must hold
+    /// (`WHERE p₀ AND p₁ AND …`). Exact at every refinement stage and
+    /// under concurrent row mutations; the result set never depends on
+    /// predicate order or the planner's choice.
+    pub fn execute(&self, predicates: &[Predicate]) -> Result<ConjunctionAnswer, EngineError> {
+        let store = self.table.store.read().expect("row store poisoned");
+        let resolved = self.resolve(&store, predicates)?;
+        let zero_sums: Vec<Option<ErasedSum>> = resolved
+            .iter()
+            .map(|r| store.columns[r.pos].zero_sum())
+            .collect();
+        if let Some(obs) = &self.obs {
+            obs.conjunctions.inc();
+        }
+        if resolved.iter().any(|r| r.empty) {
+            // A typed-empty predicate empties the conjunction before any
+            // scan: encoding could not represent `low > high` faithfully.
+            return Ok(ConjunctionAnswer {
+                count: 0,
+                sums: zero_sums,
+                driving: 0,
+            });
+        }
+        let driving = match self.mode {
+            PlanMode::FirstPredicate => 0,
+            PlanMode::Planned => choose_driving(self.gather_stats(&resolved, predicates)).driving,
+        };
+        let d = &resolved[driving];
+        // The driving scan runs through the normal shard-parallel path,
+        // paying the paper's per-query δ of refinement work on the
+        // driving column (and enjoying its covered-shard shortcuts).
+        let driving_scan = self.exec.execute_batch(&[TableQuery::new(
+            predicates[driving].column.clone(),
+            d.low_code,
+            d.high_code,
+        )])?[0];
+        // Stage 1: candidate rows from the row-aligned driving column,
+        // selected in code space (for prefix-encoded strings this
+        // over-selects; validation corrects it).
+        let driving_column = &store.columns[d.pos];
+        let mut candidates = Vec::new();
+        for (row, &live) in store.live.iter().enumerate() {
+            if live {
+                let code = driving_column.code_at(row);
+                if code >= d.low_code && code <= d.high_code {
+                    candidates.push(row);
+                }
+            }
+        }
+        debug_assert_eq!(
+            candidates.len() as u64,
+            driving_scan.count,
+            "row-store candidates must agree with the driving index scan"
+        );
+        // Stage 2: validate every candidate against every predicate over
+        // the full typed keys — including the driving one, which keeps
+        // prefix-code over-selection exact and makes the result set
+        // independent of the planner's choice by construction.
+        let mut count = 0u64;
+        let mut sums = zero_sums;
+        'rows: for &row in &candidates {
+            for (r, p) in resolved.iter().zip(predicates) {
+                if !store.columns[r.pos].matches(row, &p.low, &p.high) {
+                    continue 'rows;
+                }
+            }
+            count += 1;
+            for (r, sum) in resolved.iter().zip(sums.iter_mut()) {
+                store.columns[r.pos].add_to_sum(row, sum);
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.survivors_validated.add(candidates.len() as u64);
+            if let Some(counter) = obs.driving.get(&predicates[driving].column) {
+                counter.inc();
+            }
+        }
+        Ok(ConjunctionAnswer {
+            count,
+            sums,
+            driving,
+        })
+    }
+
+    /// Answers a grouped aggregate from the per-shard digest trees,
+    /// serving cached trees where their shard-mutation stamps are still
+    /// current and rebuilding the rest. Buckets are whole grid cells in
+    /// code space (see the module docs); rows come back in ascending
+    /// bucket order.
+    ///
+    /// # Panics
+    /// Panics when `bucket_width` is zero.
+    pub fn grouped(&self, query: &GroupedQuery) -> Result<Vec<GroupRow>, EngineError> {
+        let store = self.table.store.read().expect("row store poisoned");
+        let pos = self
+            .table
+            .position(&query.column)
+            .ok_or_else(|| EngineError::UnknownColumn(query.column.clone()))?;
+        let erased = &store.columns[pos];
+        if query.low.domain() != erased.domain() || query.high.domain() != erased.domain() {
+            return Err(EngineError::DomainMismatch(query.column.clone()));
+        }
+        if query.low.cmp_same(&query.high) == std::cmp::Ordering::Greater {
+            return Ok(Vec::new());
+        }
+        let width = query.bucket_width;
+        let (low_code, high_code) = (query.low.to_code(), query.high.to_code());
+        let column = &self.table.inner.columns()[pos];
+        // Buckets straddle shard boundaries: visit every shard the
+        // *bucket-expanded* code range overlaps, not just the predicate's.
+        let expanded_low = bucket_of(low_code, width).saturating_mul(width);
+        let expanded_high = bucket_of(high_code, width)
+            .saturating_mul(width)
+            .saturating_add(width - 1);
+        let mut merged = DigestTree::empty(width);
+        for shard in column.overlapping(expanded_low, expanded_high) {
+            let tree = self
+                .agg_cache
+                .get_or_build(column, pos, shard, width, self.obs.as_ref());
+            merged.merge(&tree);
+        }
+        Ok(merged
+            .cells_overlapping(low_code, high_code)
+            .map(|(bucket, cell)| GroupRow {
+                bucket,
+                count: cell.count,
+                sum: decode_cell_sum(erased, cell.sum, cell.count),
+                min: erased.decode_code(cell.min),
+                max: erased.decode_code(cell.max),
+            })
+            .collect())
+    }
+}
+
+/// Decodes a code-space `(sum, count)` cell aggregate into the column's
+/// key domain, honouring the capability gate: exact for `u64` (identity)
+/// and `i64` (affine shift), `None` for `f64`/string.
+fn decode_cell_sum(column: &ErasedColumn, sum: u128, count: u64) -> Option<ErasedSum> {
+    match column {
+        ErasedColumn::U64(_) => Some(ErasedSum::U64(sum)),
+        ErasedColumn::I64(_) => {
+            <i64 as OrderedKey>::decode_sum(ScanResult { sum, count }).map(ErasedSum::I64)
+        }
+        ErasedColumn::F64(_) | ErasedColumn::Str(_) => None,
+    }
+}

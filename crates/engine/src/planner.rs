@@ -1,0 +1,132 @@
+//! Conjunction planning: which column drives a multi-predicate scan.
+//!
+//! A conjunction `WHERE a BETWEEN .. AND b BETWEEN ..` is executed as
+//! *drive one column, validate the rest*: the driving predicate goes
+//! through the normal shard-parallel path (paying the paper's per-query
+//! δ of refinement work on that column), every row surviving it is then
+//! checked exactly against the remaining predicates. Both stage costs
+//! scale with the driving predicate's match count, so the planner's job
+//! is to drive the cheapest column.
+//!
+//! The decision combines the two signals the engine already maintains,
+//! both readable without shard locks:
+//!
+//! * **Estimated selectivity** — the fraction of rows the predicate
+//!   matches, interpolated from the per-shard digests
+//!   ([`crate::ShardedColumn::estimate_selectivity`]). Fewer survivors
+//!   means less validation work; this is the dominant term.
+//! * **Refinement state ρ** — the paper's convergence measure, from the
+//!   lock-free per-shard cache
+//!   ([`crate::ShardedColumn::rho_estimate`]). Scanning a converged
+//!   column costs a B+-tree probe; scanning a cold one costs a partial
+//!   scan plus its budgeted indexing slice. A cold column still
+//!   *benefits* from being driven (the δ work is how it converges), so ρ
+//!   is a tiebreaker, not a veto — hence the small weight.
+//!
+//! Each predicate scores `selectivity + RHO_WEIGHT · (1 − ρ)`; the
+//! minimum drives. Both inputs are estimates; the choice only moves
+//! *cost*, never answers — validation re-checks every predicate exactly.
+
+/// Weight of the refinement-state term in the planner score. Small by
+/// design: a 25-point selectivity gap always beats any convergence gap,
+/// while equal selectivities break towards the more-converged column.
+pub const RHO_WEIGHT: f64 = 0.25;
+
+/// The planner's per-predicate decision inputs, as gathered for one
+/// conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateStats {
+    /// The predicate's column.
+    pub column: String,
+    /// Estimated fraction of live rows matching the predicate, in
+    /// `[0, 1]` (from the per-shard digests).
+    pub selectivity: f64,
+    /// The column's estimated ρ (fraction indexed), in `[0, 1]` (from
+    /// the lock-free per-shard cache).
+    pub rho: f64,
+}
+
+impl PredicateStats {
+    /// The predicate's driving cost score — lower drives.
+    pub fn score(&self) -> f64 {
+        self.selectivity + RHO_WEIGHT * (1.0 - self.rho)
+    }
+}
+
+/// One planned conjunction: the driving predicate and the scores behind
+/// the choice (surfaced for tests and observability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Index (into the conjunction's predicate list) of the driving
+    /// predicate.
+    pub driving: usize,
+    /// The decision inputs, in predicate order.
+    pub stats: Vec<PredicateStats>,
+}
+
+/// Picks the driving predicate: minimum score, first on ties (so the
+/// choice is deterministic in predicate order).
+///
+/// # Panics
+/// Panics on an empty conjunction — callers reject those first.
+pub fn choose_driving(stats: Vec<PredicateStats>) -> Plan {
+    assert!(
+        !stats.is_empty(),
+        "a conjunction needs at least one predicate"
+    );
+    let mut driving = 0;
+    let mut best = stats[0].score();
+    for (i, s) in stats.iter().enumerate().skip(1) {
+        let score = s.score();
+        if score < best {
+            best = score;
+            driving = i;
+        }
+    }
+    Plan { driving, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(column: &str, selectivity: f64, rho: f64) -> PredicateStats {
+        PredicateStats {
+            column: column.into(),
+            selectivity,
+            rho,
+        }
+    }
+
+    #[test]
+    fn equal_selectivity_breaks_towards_converged_column() {
+        let plan = choose_driving(vec![stats("cold", 0.3, 0.0), stats("converged", 0.3, 1.0)]);
+        assert_eq!(plan.driving, 1);
+        assert_eq!(plan.stats[plan.driving].column, "converged");
+    }
+
+    #[test]
+    fn selectivity_gap_beats_any_convergence_gap() {
+        // 0.1% selective but completely cold vs 90% selective and fully
+        // converged: the selective predicate must drive — RHO_WEIGHT
+        // bounds the convergence term below any large selectivity gap.
+        let plan = choose_driving(vec![
+            stats("wide_converged", 0.9, 1.0),
+            stats("narrow_cold", 0.001, 0.0),
+        ]);
+        assert_eq!(plan.driving, 1);
+        assert!(plan.stats[1].score() < plan.stats[0].score());
+    }
+
+    #[test]
+    fn ties_resolve_to_first_predicate() {
+        let plan = choose_driving(vec![stats("a", 0.5, 0.5), stats("b", 0.5, 0.5)]);
+        assert_eq!(plan.driving, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_conjunction_rejected() {
+        let _ = choose_driving(Vec::new());
+    }
+}

@@ -27,6 +27,7 @@ use pi_core::mutation::{MergeHook, MutableConfig, MutableIndex, Mutation};
 use pi_core::result::{IndexStatus, Phase};
 use pi_obs::{Gauge, MetricsRegistry};
 use pi_storage::delta::DeltaSidecar;
+use pi_storage::digest::DigestTree;
 use pi_storage::scan::ScanResult;
 use pi_storage::shard::{sample_values, RangePartition};
 use pi_storage::{Column, Value};
@@ -147,6 +148,15 @@ impl Shard {
     /// the shard's per-query indexing work as a side effect.
     pub fn query(&mut self, low: Value, high: Value) -> ScanResult {
         self.index.query(low, high).scan_result()
+    }
+
+    /// Answers `[low, high]` against this shard's live rows **without**
+    /// performing any indexing work (base snapshot + delta sidecars; see
+    /// [`MutableIndex::peek`]). This is the conjunction planner's
+    /// validation probe: exact at every refinement stage, and it never
+    /// perturbs the refinement or merge schedule.
+    pub fn peek(&self, low: Value, high: Value) -> ScanResult {
+        self.index.peek(low, high)
     }
 
     /// Applies one mutation to this shard. Returns whether it took effect
@@ -270,6 +280,17 @@ pub struct ShardedColumn {
     /// Bumped once per applied mutation batch; convergence latches compare
     /// against it so a mutation invalidates them race-free.
     mutation_epoch: AtomicU64,
+    /// Per-shard applied-mutation counters, bumped **under the shard
+    /// lock** (before it is released) whenever a mutation run touches the
+    /// shard. They stamp derived per-shard artifacts — the aggregate
+    /// cache's digest trees — so a stamp captured together with the
+    /// shard's live values (also under the lock) stays valid exactly
+    /// until the next write to that shard completes.
+    shard_mutations: Vec<AtomicU64>,
+    /// Lock-free per-shard ρ cache (f64 bits): refreshed from every
+    /// `note_rho` site (query, maintenance, mutation), read by the
+    /// conjunction planner without touching shard or digest locks.
+    rho_cache: Vec<AtomicU64>,
     stats: WorkloadStats,
     /// Shared `core.<column>.*` counters, attached to every shard's index
     /// (see [`TableBuilder::metrics`]); `None` costs nothing.
@@ -333,12 +354,15 @@ impl ShardedColumn {
                 })
             })
             .collect();
-        let shard_dirty = sub_columns.iter().map(|_| AtomicBool::new(false)).collect();
-        let shards = sub_columns
+        let shard_dirty: Vec<AtomicBool> =
+            sub_columns.iter().map(|_| AtomicBool::new(false)).collect();
+        let shard_mutations = sub_columns.iter().map(|_| AtomicU64::new(0)).collect();
+        let rho_cache = sub_columns.iter().map(|_| AtomicU64::new(0)).collect();
+        let shards: Vec<Mutex<Shard>> = sub_columns
             .into_iter()
             .map(|sub| Mutex::new(Shard::new(sub, algorithm, policy)))
             .collect();
-        ShardedColumn {
+        let column = ShardedColumn {
             name,
             rows,
             domain,
@@ -351,10 +375,23 @@ impl ShardedColumn {
             shards,
             shard_dirty,
             mutation_epoch: AtomicU64::new(0),
+            shard_mutations,
+            rho_cache,
             stats: WorkloadStats::new(),
             index_metrics: None,
             rho: None,
             merge_hook: None,
+        };
+        column.seed_rho_cache();
+        column
+    }
+
+    /// Seeds the lock-free ρ cache from the current shard statuses (locks
+    /// are uncontended at construction time).
+    fn seed_rho_cache(&self) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().expect("shard lock poisoned");
+            self.note_rho(s, &guard);
         }
     }
 
@@ -428,8 +465,10 @@ impl ShardedColumn {
                 Some((lo, hi)) => Some((lo.min(d.min), hi.max(d.max))),
             })
             .unwrap_or((0, 0));
-        let shard_dirty = shards.iter().map(|_| AtomicBool::new(false)).collect();
-        ShardedColumn {
+        let shard_dirty: Vec<AtomicBool> = shards.iter().map(|_| AtomicBool::new(false)).collect();
+        let shard_mutations = shards.iter().map(|_| AtomicU64::new(0)).collect();
+        let rho_cache = shards.iter().map(|_| AtomicU64::new(0)).collect();
+        let column = ShardedColumn {
             name,
             rows,
             domain,
@@ -442,11 +481,15 @@ impl ShardedColumn {
             shards,
             shard_dirty,
             mutation_epoch: AtomicU64::new(0),
+            shard_mutations,
+            rho_cache,
             stats: WorkloadStats::new(),
             index_metrics: None,
             rho: None,
             merge_hook: None,
-        }
+        };
+        column.seed_rho_cache();
+        column
     }
 
     /// Captures the column's persistable state: the partition boundaries
@@ -512,12 +555,14 @@ impl ShardedColumn {
         }
     }
 
-    /// Refreshes shard `shard`'s ρ gauge from a held shard guard; no-op
-    /// without attached metrics.
+    /// Refreshes shard `shard`'s lock-free ρ cache — and its gauge, when
+    /// metrics are attached — from a held shard guard.
     #[inline]
     fn note_rho(&self, shard: usize, guard: &Shard) {
+        let fraction = guard.status().fraction_indexed;
+        self.rho_cache[shard].store(fraction.to_bits(), Ordering::Relaxed);
         if let Some(rho) = &self.rho {
-            rho[shard].set(guard.status().fraction_indexed);
+            rho[shard].set(fraction);
         }
     }
 
@@ -726,6 +771,10 @@ impl ShardedColumn {
             }
             self.shard_dirty[shard].store(true, Ordering::SeqCst);
             self.mutation_epoch.fetch_add(1, Ordering::SeqCst);
+            // The per-shard counter is bumped while the shard lock is still
+            // held: any digest tree stamped before this write completes is
+            // invalidated before a reader can observe the new values.
+            self.shard_mutations[shard].fetch_add(1, Ordering::SeqCst);
             // Pending deltas lower the shard's effective ρ until merged.
             self.note_rho(shard, &guard);
         }
@@ -781,6 +830,120 @@ impl ShardedColumn {
         self.mutation_epoch.load(Ordering::SeqCst)
     }
 
+    /// Monotone per-shard applied-mutation counter. Bumped under the shard
+    /// lock before any writer releases it, so a stamp read under that same
+    /// lock (see [`ShardedColumn::digest_tree`]) is valid exactly until
+    /// the next write to the shard completes. The engine's aggregate cache
+    /// compares against this before serving a cached digest tree.
+    pub fn shard_mutation_count(&self, shard: usize) -> u64 {
+        self.shard_mutations[shard].load(Ordering::SeqCst)
+    }
+
+    /// Shard `shard`'s cached ρ (the paper's fraction-indexed convergence
+    /// measure), read lock-free from the value recorded the last time the
+    /// shard performed indexing work or absorbed a mutation.
+    pub fn shard_rho_estimate(&self, shard: usize) -> f64 {
+        f64::from_bits(self.rho_cache[shard].load(Ordering::Relaxed))
+    }
+
+    /// The column's ρ, row-weighted over the per-shard caches (no locks;
+    /// weights are the construction-time shard rows). This is the
+    /// refinement-state input to the conjunction planner: approximate by
+    /// design — it trades freshness for a zero-cost read on the planning
+    /// path — and exactness never depends on it.
+    pub fn rho_estimate(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (s, &rows) in self.shard_rows.iter().enumerate() {
+            let w = rows.max(1) as f64;
+            weighted += self.shard_rho_estimate(s) * w;
+            weight += w;
+        }
+        if weight == 0.0 {
+            1.0
+        } else {
+            weighted / weight
+        }
+    }
+
+    /// Estimated fraction of the column's live rows matching
+    /// `[low, high]`, computed from the per-shard digests alone (brief
+    /// digest read locks; no shard mutexes, no index probes): a fully
+    /// covered shard contributes its exact live count, a partially
+    /// overlapped shard contributes a linear interpolation of its count
+    /// over `[min, max]`. This is the selectivity input to the conjunction
+    /// planner — approximate by design; exactness never depends on it.
+    pub fn estimate_selectivity(&self, low: Value, high: Value) -> f64 {
+        if low > high {
+            return 0.0;
+        }
+        let visit = self.overlapping(low, high);
+        let mut matching = 0.0;
+        let mut total = 0.0;
+        for (shard, digest) in self.digests.iter().enumerate() {
+            let digest = digest.read().expect("digest lock poisoned");
+            let count = digest.total.count as f64;
+            total += count;
+            if digest.total.count == 0 || !visit.contains(&shard) {
+                continue;
+            }
+            if low <= digest.min && digest.max <= high {
+                matching += count;
+            } else {
+                let lo = low.max(digest.min);
+                let hi = high.min(digest.max);
+                if lo <= hi {
+                    let span = (digest.max - digest.min) as f64 + 1.0;
+                    let overlap = (hi - lo) as f64 + 1.0;
+                    matching += count * (overlap / span);
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            (matching / total).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Locks shard `shard` and answers `[low, high]` **without** indexing
+    /// work: the base-snapshot scan composed with the delta sidecars (see
+    /// [`Shard::peek`]). The conjunction planner's validation probe for
+    /// non-driving columns.
+    pub fn peek_shard(&self, shard: usize, low: Value, high: Value) -> ScanResult {
+        let guard = self.shards[shard].lock().expect("shard lock poisoned");
+        guard.peek(low, high)
+    }
+
+    /// Answers `[low, high]` exactly without performing any indexing work,
+    /// taking the O(1) covered-shard shortcut where the digests allow and
+    /// peeking the boundary shards otherwise. Unlike
+    /// [`ShardedColumn::query`], skipping the indexing side effect is safe
+    /// here by definition — `peek` never does indexing work.
+    pub fn peek(&self, low: Value, high: Value) -> ScanResult {
+        let mut merged = ScanResult::EMPTY;
+        for shard in self.overlapping(low, high) {
+            merged = merged.merge(match self.covered_total(shard, low, high) {
+                Some(total) => total,
+                None => self.peek_shard(shard, low, high),
+            });
+        }
+        merged
+    }
+
+    /// Builds shard `shard`'s sub-shard digest tree over the global grid
+    /// of bucket width `width`, returning it with the shard-mutation stamp
+    /// it is valid for. Stamp and live values are captured under one shard
+    /// lock acquisition, and writers bump the counter *before* releasing
+    /// the lock, so: cached stamp == [`ShardedColumn::shard_mutation_count`]
+    /// ⇒ the tree still describes the shard's live multiset exactly.
+    pub fn digest_tree(&self, shard: usize, width: Value) -> (u64, DigestTree) {
+        let guard = self.shards[shard].lock().expect("shard lock poisoned");
+        let stamp = self.shard_mutations[shard].load(Ordering::SeqCst);
+        let tree = DigestTree::build(&guard.live_values(), width);
+        (stamp, tree)
+    }
+
     /// Re-draws equi-depth shard boundaries from the current live values
     /// and re-splits the column into the same number of shards, resetting
     /// every shard's index to the creation phase over its new slice.
@@ -800,6 +963,14 @@ impl ShardedColumn {
         let index_metrics = self.index_metrics.take();
         let rho = self.rho.take();
         let merge_hook = self.merge_hook.take();
+        // A rebalance re-slices every shard: per-shard mutation counters
+        // must keep climbing past their old values so digest trees stamped
+        // before the rebalance read as stale, never as current.
+        let old_mutation_counts: Vec<u64> = self
+            .shard_mutations
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .collect();
         *self = Self::build(
             std::mem::take(&mut self.name),
             Column::from_vec(live),
@@ -814,6 +985,9 @@ impl ShardedColumn {
         self.index_metrics = index_metrics;
         self.rho = rho;
         self.merge_hook = merge_hook;
+        for (counter, old) in self.shard_mutations.iter().zip(old_mutation_counts) {
+            counter.store(old + 1, Ordering::SeqCst);
+        }
         self.reattach_metrics();
     }
 

@@ -1,0 +1,548 @@
+//! Multi-column serving: conjunction planning, metamorphic
+//! order-independence, grouped-aggregate cache freshness under
+//! mutation, heterogeneous tables, and empty-column digests.
+//!
+//! The planner-pinning tests fix the two decision inputs the issue
+//! names: refinement state ρ breaks selectivity ties towards converged
+//! columns, and a large selectivity gap (0.1% vs 90%) overrides any
+//! convergence gap. The aggregate-cache regression is the
+//! write-then-read race: a grouped aggregate racing a mutation on the
+//! same shard must never serve the pre-mutation cached digest.
+
+use std::sync::Arc;
+
+use pi_engine::{
+    EngineError, ErasedColumn, ErasedKey, ErasedSum, ExecutorConfig, GroupedQuery, MultiColumnSpec,
+    MultiExecutor, MultiTable, PlanMode, Predicate, RowMutation,
+};
+use pi_obs::MetricsRegistry;
+use pi_workloads::multicol::{conjunction_ranges, hetero_rows, u64_columns};
+use pi_workloads::Distribution;
+
+/// Foreground-only inner executor: no maintenance floor, no background
+/// threads, so tests fully control each column's refinement state.
+fn foreground() -> ExecutorConfig {
+    ExecutorConfig {
+        worker_threads: 2,
+        maintenance_steps: 0,
+        background_maintenance: false,
+    }
+}
+
+/// Converges every shard of one inner column, leaving its siblings
+/// untouched.
+fn converge_column(table: &MultiTable, pos: usize) {
+    let column = &table.inner().columns()[pos];
+    for shard in 0..column.shard_count() {
+        column.advance_shard_by(shard, usize::MAX);
+    }
+    assert!(column.is_converged());
+}
+
+fn two_u64_columns(rows: usize, domain: u64, seed: u64) -> Arc<MultiTable> {
+    let mut cols = u64_columns(2, rows, domain, seed).into_iter();
+    Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new(
+                "a",
+                ErasedColumn::U64(cols.next().unwrap()),
+            ))
+            .column(MultiColumnSpec::new(
+                "b",
+                ErasedColumn::U64(cols.next().unwrap()),
+            ))
+            .build(),
+    )
+}
+
+/// Oracle for a u64/u64 conjunction: filter the raw rows.
+fn conj_oracle(a: &[u64], b: &[u64], ra: (u64, u64), rb: (u64, u64)) -> (u64, u128, u128) {
+    let mut count = 0;
+    let (mut sum_a, mut sum_b) = (0u128, 0u128);
+    for (&va, &vb) in a.iter().zip(b) {
+        if va >= ra.0 && va <= ra.1 && vb >= rb.0 && vb <= rb.1 {
+            count += 1;
+            sum_a += va as u128;
+            sum_b += vb as u128;
+        }
+    }
+    (count, sum_a, sum_b)
+}
+
+#[test]
+fn planner_breaks_selectivity_ties_towards_the_converged_column() {
+    // Both columns hold the *same* data, so identical bounds give
+    // identical selectivity estimates; only ρ differs.
+    let values = u64_columns(1, 20_000, 100_000, 7).pop().unwrap();
+    let table = Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new(
+                "cold",
+                ErasedColumn::U64(values.clone()),
+            ))
+            .column(MultiColumnSpec::new("warm", ErasedColumn::U64(values)))
+            .build(),
+    );
+    converge_column(&table, 1);
+    let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+    let predicates = [
+        Predicate::between_u64("cold", 10_000, 30_000),
+        Predicate::between_u64("warm", 10_000, 30_000),
+    ];
+    let plan = exec.plan(&predicates).unwrap();
+    assert_eq!(plan.driving, 1, "tie on selectivity → the converged column");
+    assert!(plan.stats[1].rho > plan.stats[0].rho);
+    assert!((plan.stats[0].selectivity - plan.stats[1].selectivity).abs() < 1e-9);
+
+    // And flipped predicate order flips the index but not the column.
+    let flipped = [predicates[1].clone(), predicates[0].clone()];
+    assert_eq!(exec.plan(&flipped).unwrap().driving, 0);
+}
+
+#[test]
+fn selectivity_gap_overrides_any_convergence_gap() {
+    // "a" is fully converged but its predicate matches ~90% of the
+    // domain; "b" is stone cold at ~0.1%. The planner must drive "b":
+    // validating 90% of the table costs ~900× the selective scan.
+    let table = two_u64_columns(20_000, 1_000_000, 11);
+    converge_column(&table, 0);
+    let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+    let ranges = &conjunction_ranges(&[0.9, 0.001], 1_000_000, 1, 13)[0];
+    let predicates = [
+        Predicate::between_u64("a", ranges[0].0, ranges[0].1),
+        Predicate::between_u64("b", ranges[1].0, ranges[1].1),
+    ];
+    let plan = exec.plan(&predicates).unwrap();
+    assert_eq!(plan.driving, 1, "0.1% beats 90% regardless of ρ");
+    assert!(plan.stats[0].selectivity > 0.5);
+    assert!(plan.stats[1].selectivity < 0.05);
+}
+
+#[test]
+fn predicate_order_and_plan_mode_never_change_the_result_set() {
+    let cols = u64_columns(2, 8_000, 50_000, 17);
+    let (a, b) = (cols[0].clone(), cols[1].clone());
+    let table = two_u64_columns(8_000, 50_000, 17);
+    // Skew the refinement state so Planned and FirstPredicate genuinely
+    // disagree on the driving column.
+    converge_column(&table, 1);
+    let planned = MultiExecutor::with_config(Arc::clone(&table), foreground());
+    let first = MultiExecutor::with_config(Arc::clone(&table), foreground())
+        .with_mode(PlanMode::FirstPredicate);
+    for conj in conjunction_ranges(&[0.4, 0.02], 50_000, 12, 19) {
+        let (ra, rb) = (conj[0], conj[1]);
+        let fwd = [
+            Predicate::between_u64("a", ra.0, ra.1),
+            Predicate::between_u64("b", rb.0, rb.1),
+        ];
+        let rev = [fwd[1].clone(), fwd[0].clone()];
+        let x = planned.execute(&fwd).unwrap();
+        let y = planned.execute(&rev).unwrap();
+        let z = first.execute(&fwd).unwrap();
+        // Metamorphic: same rows, sums realigned to predicate order.
+        assert_eq!(x.count, y.count);
+        assert_eq!(x.sums, vec![y.sums[1], y.sums[0]]);
+        assert_eq!((x.count, &x.sums), (z.count, &z.sums));
+        // And both agree with the raw-row oracle.
+        let (count, sum_a, sum_b) = conj_oracle(&a, &b, ra, rb);
+        assert_eq!(x.count, count, "a={ra:?} b={rb:?}");
+        assert_eq!(x.sums[0], Some(ErasedSum::U64(sum_a)));
+        assert_eq!(x.sums[1], Some(ErasedSum::U64(sum_b)));
+    }
+}
+
+/// Grouped-aggregate oracle over the live rows of a u64 column
+/// (codes are the values themselves).
+fn grouped_oracle(rows: &[(u64, bool)], low: u64, high: u64, width: u64) -> Vec<(u64, u64, u128)> {
+    use std::collections::BTreeMap;
+    let mut cells: BTreeMap<u64, (u64, u128)> = BTreeMap::new();
+    for &(v, live) in rows {
+        if live {
+            let cell = cells.entry(v / width).or_default();
+            cell.0 += 1;
+            cell.1 += v as u128;
+        }
+    }
+    cells
+        .into_iter()
+        .filter(|&(bucket, _)| bucket >= low / width && bucket <= high / width)
+        .map(|(bucket, (count, sum))| (bucket, count, sum))
+        .collect()
+}
+
+#[test]
+fn grouped_aggregates_match_the_oracle_and_reuse_the_cache() {
+    let values = u64_columns(1, 10_000, 4_096, 23).pop().unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let table = Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new("v", ErasedColumn::U64(values.clone())))
+            .build(),
+    );
+    let exec = MultiExecutor::with_metrics(Arc::clone(&table), foreground(), Arc::clone(&registry));
+    let rows: Vec<(u64, bool)> = values.iter().map(|&v| (v, true)).collect();
+    let query = GroupedQuery::new("v", ErasedKey::U64(100), ErasedKey::U64(3_000), 256);
+
+    let got = exec.grouped(&query).unwrap();
+    let want = grouped_oracle(&rows, 100, 3_000, 256);
+    assert_eq!(got.len(), want.len());
+    for (g, (bucket, count, sum)) in got.iter().zip(&want) {
+        assert_eq!((g.bucket, g.count), (*bucket, *count));
+        assert_eq!(g.sum, Some(ErasedSum::U64(*sum)));
+        // u64 codes decode to themselves; min/max stay inside the bucket.
+        let (min, max) = match (&g.min, &g.max) {
+            (Some(ErasedKey::U64(min)), Some(ErasedKey::U64(max))) => (*min, *max),
+            other => panic!("u64 groups decode min/max: {other:?}"),
+        };
+        assert!(min / 256 == g.bucket && max / 256 == g.bucket && min <= max);
+    }
+    assert_eq!(
+        registry.snapshot().counter("planner.agg.cache_hits"),
+        Some(0)
+    );
+    assert!(!exec.aggregate_cache().is_empty());
+
+    // Same query again: served from cache, byte-identical.
+    let again = exec.grouped(&query).unwrap();
+    assert_eq!(again, got);
+    let hits = registry
+        .snapshot()
+        .counter("planner.agg.cache_hits")
+        .unwrap();
+    assert!(hits > 0, "unchanged shards must serve cached trees");
+}
+
+#[test]
+fn completed_mutation_invalidates_the_aggregate_cache() {
+    // The issue's regression: write-then-read on the same shard must
+    // never serve the pre-mutation digest — the stamp protocol bumps the
+    // shard's mutation counter before the write releases the shard lock.
+    let values = u64_columns(1, 6_000, 2_048, 29).pop().unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let table = Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new("v", ErasedColumn::U64(values.clone())))
+            .build(),
+    );
+    let exec = MultiExecutor::with_metrics(Arc::clone(&table), foreground(), Arc::clone(&registry));
+    let mut rows: Vec<(u64, bool)> = values.iter().map(|&v| (v, true)).collect();
+    let query = GroupedQuery::new("v", ErasedKey::U64(0), ErasedKey::U64(2_047), 128);
+
+    // Warm the cache, then mutate rows that land inside cached buckets.
+    let before = exec.grouped(&query).unwrap();
+    assert_eq!(
+        before.iter().map(|g| g.count).sum::<u64>(),
+        rows.len() as u64
+    );
+    let applied = exec.apply_rows(&[
+        RowMutation::Delete(0),
+        RowMutation::Insert(vec![ErasedKey::U64(values[0])]),
+        RowMutation::Update {
+            row: 1,
+            keys: vec![ErasedKey::U64((values[1] + 1_000) % 2_048)],
+        },
+        RowMutation::Delete(2),
+    ]);
+    assert_eq!(applied, vec![true; 4]);
+    rows[0].1 = false;
+    rows.push((values[0], true));
+    rows[1].0 = (values[1] + 1_000) % 2_048;
+    rows[2].1 = false;
+
+    // The very next read must observe the post-mutation multiset.
+    let after = exec.grouped(&query).unwrap();
+    let want = grouped_oracle(&rows, 0, 2_047, 128);
+    assert_eq!(after.len(), want.len());
+    for (g, (bucket, count, sum)) in after.iter().zip(&want) {
+        assert_eq!(
+            (g.bucket, g.count, g.sum),
+            (*bucket, *count, Some(ErasedSum::U64(*sum)))
+        );
+    }
+    assert_ne!(after, before, "the mutations changed touched buckets");
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot.counter("planner.agg.cache_invalidations").unwrap() > 0,
+        "stale stamps must be counted as invalidations"
+    );
+
+    // Deletes of dead rows are rejected and leave the cache current.
+    assert_eq!(exec.apply_rows(&[RowMutation::Delete(0)]), vec![false]);
+    assert_eq!(exec.grouped(&query).unwrap(), after);
+}
+
+#[test]
+fn heterogeneous_conjunctions_are_exact_at_every_stage() {
+    let (ids, floats, strings) = hetero_rows(Distribution::Skewed, 6_000, 500.0, 31);
+    let table = Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new("id", ErasedColumn::U64(ids.clone())))
+            .column(MultiColumnSpec::new(
+                "temp",
+                ErasedColumn::F64(floats.clone()),
+            ))
+            .column(MultiColumnSpec::new(
+                "name",
+                ErasedColumn::Str(strings.clone()),
+            ))
+            .build(),
+    );
+    let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+    let oracle = |ir: (u64, u64), fr: (f64, f64), sr: (&str, &str)| -> u64 {
+        (0..ids.len())
+            .filter(|&r| {
+                ids[r] >= ir.0
+                    && ids[r] <= ir.1
+                    && floats[r] >= fr.0
+                    && floats[r] <= fr.1
+                    && strings[r].as_str() >= sr.0
+                    && strings[r].as_str() <= sr.1
+            })
+            .count() as u64
+    };
+    // The skewed string data piles 90% of rows onto the "progressiv" hot
+    // prefix — these bounds share its 8-byte code, so code-space
+    // candidate selection over-selects the whole hot set and only exact
+    // full-key validation can correct it.
+    let cases = [
+        ((0, 3_000), (-250.0, 250.0), ("progressiva", "progressivz")),
+        ((1_000, 5_999), (0.0, 500.0), ("a", "zzzzzzzzzzzzz")),
+        ((0, u64::MAX), (-500.0, 0.0), ("progressivc", "progressivm")),
+    ];
+    let run = |exec: &MultiExecutor| {
+        for &(ir, fr, sr) in &cases {
+            let predicates = [
+                Predicate::new("id", ErasedKey::U64(ir.0), ErasedKey::U64(ir.1)),
+                Predicate::new("temp", ErasedKey::F64(fr.0), ErasedKey::F64(fr.1)),
+                Predicate::new(
+                    "name",
+                    ErasedKey::Str(sr.0.into()),
+                    ErasedKey::Str(sr.1.into()),
+                ),
+            ];
+            let answer = exec.execute(&predicates).unwrap();
+            assert_eq!(answer.count, oracle(ir, fr, sr), "{ir:?} {fr:?} {sr:?}");
+            // Sum capability: exact for u64, gated off for f64/string.
+            assert!(matches!(answer.sums[0], Some(ErasedSum::U64(_))));
+            assert_eq!(answer.sums[1], None);
+            assert_eq!(answer.sums[2], None);
+        }
+    };
+    // Cold, partially refined, converged: exact at every stage.
+    run(&exec);
+    exec.drive_to_convergence(64);
+    run(&exec);
+    exec.drive_to_convergence(usize::MAX);
+    assert!(table.inner().is_converged());
+    run(&exec);
+}
+
+#[test]
+fn heterogeneous_mutations_keep_conjunctions_exact() {
+    let (ids, floats, strings) = hetero_rows(Distribution::UniformRandom, 2_000, 100.0, 37);
+    let table = Arc::new(
+        MultiTable::builder()
+            .column(MultiColumnSpec::new("id", ErasedColumn::U64(ids.clone())))
+            .column(MultiColumnSpec::new(
+                "temp",
+                ErasedColumn::F64(floats.clone()),
+            ))
+            .column(MultiColumnSpec::new(
+                "name",
+                ErasedColumn::Str(strings.clone()),
+            ))
+            .build(),
+    );
+    let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+    // Mirror the mutations on a plain row vector as ground truth.
+    let mut rows: Vec<(u64, f64, String, bool)> = ids
+        .iter()
+        .zip(&floats)
+        .zip(&strings)
+        .map(|((&i, &f), s)| (i, f, s.clone(), true))
+        .collect();
+    let applied = exec.apply_rows(&[
+        RowMutation::Delete(10),
+        RowMutation::Insert(vec![
+            ErasedKey::U64(42),
+            ErasedKey::F64(-1.5),
+            ErasedKey::Str("inserted-row".into()),
+        ]),
+        RowMutation::Update {
+            row: 20,
+            keys: vec![
+                ErasedKey::U64(43),
+                ErasedKey::F64(2.5),
+                ErasedKey::Str("updated-row".into()),
+            ],
+        },
+    ]);
+    assert_eq!(applied, vec![true; 3]);
+    rows[10].3 = false;
+    rows.push((42, -1.5, "inserted-row".into(), true));
+    rows[20] = (43, 2.5, "updated-row".into(), true);
+    assert_eq!(table.live_rows(), rows.iter().filter(|r| r.3).count());
+
+    for (low, high) in [(0u64, 100u64), (40, 45), (0, u64::MAX)] {
+        let predicates = [
+            Predicate::between_u64("id", low, high),
+            Predicate::new("temp", ErasedKey::F64(-100.0), ErasedKey::F64(100.0)),
+            Predicate::new(
+                "name",
+                ErasedKey::Str("a".into()),
+                ErasedKey::Str("zzzz".into()),
+            ),
+        ];
+        let answer = exec.execute(&predicates).unwrap();
+        let want = rows
+            .iter()
+            .filter(|(i, f, s, live)| {
+                *live
+                    && (low..=high).contains(i)
+                    && (-100.0..=100.0).contains(f)
+                    && s.as_str() >= "a"
+                    && s.as_str() <= "zzzz"
+            })
+            .count() as u64;
+        assert_eq!(answer.count, want, "[{low}, {high}]");
+    }
+}
+
+#[test]
+fn emptied_columns_serve_structurally_empty_digests_per_domain() {
+    // Empty-column digests are a *count guard*: a column with no live
+    // rows materialises no cells at all — never min/max sentinels. Cover
+    // all four domains by deleting every row and re-running the grouped
+    // aggregate and the conjunction path.
+    let columns: Vec<(&str, ErasedColumn, ErasedKey, ErasedKey)> = vec![
+        (
+            "u",
+            ErasedColumn::U64(vec![5, 10, 15]),
+            ErasedKey::U64(0),
+            ErasedKey::U64(u64::MAX),
+        ),
+        (
+            "i",
+            ErasedColumn::I64(vec![-5, 0, 5]),
+            ErasedKey::I64(i64::MIN),
+            ErasedKey::I64(i64::MAX),
+        ),
+        (
+            "f",
+            ErasedColumn::F64(vec![-1.5, 0.0, 2.5]),
+            ErasedKey::F64(f64::NEG_INFINITY),
+            ErasedKey::F64(f64::INFINITY),
+        ),
+        (
+            "s",
+            ErasedColumn::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ErasedKey::Str("".into()),
+            ErasedKey::Str("~~~~~~~~~~".into()),
+        ),
+    ];
+    for (name, keys, low, high) in columns {
+        let rows = keys.len();
+        let table = Arc::new(
+            MultiTable::builder()
+                .column(MultiColumnSpec::new(name, keys))
+                .build(),
+        );
+        let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+        let query = GroupedQuery::new(name, low.clone(), high.clone(), 1u64 << 32);
+        assert!(!exec.grouped(&query).unwrap().is_empty());
+
+        let deletes: Vec<RowMutation> = (0..rows).map(RowMutation::Delete).collect();
+        assert_eq!(exec.apply_rows(&deletes), vec![true; rows]);
+        assert_eq!(table.live_rows(), 0);
+        assert_eq!(
+            exec.grouped(&query).unwrap(),
+            Vec::new(),
+            "domain {name}: no live rows → no cells, not sentinel cells"
+        );
+        let answer = exec.execute(&[Predicate::new(name, low, high)]).unwrap();
+        assert_eq!(answer.count, 0);
+    }
+}
+
+#[test]
+fn conjunction_errors_are_typed_and_precise() {
+    let table = two_u64_columns(500, 1_000, 41);
+    let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+
+    assert_eq!(exec.execute(&[]), Err(EngineError::EmptyConjunction));
+    assert_eq!(exec.plan(&[]), Err(EngineError::EmptyConjunction));
+
+    let unknown = Predicate::between_u64("missing", 0, 10);
+    assert_eq!(
+        exec.execute(std::slice::from_ref(&unknown)),
+        Err(EngineError::UnknownColumn("missing".into()))
+    );
+    assert_eq!(
+        exec.grouped(&GroupedQuery::new(
+            "missing",
+            ErasedKey::U64(0),
+            ErasedKey::U64(10),
+            16
+        )),
+        Err(EngineError::UnknownColumn("missing".into()))
+    );
+
+    let mismatched = Predicate::new("a", ErasedKey::F64(0.0), ErasedKey::F64(1.0));
+    assert_eq!(
+        exec.execute(&[mismatched]),
+        Err(EngineError::DomainMismatch("a".into()))
+    );
+    assert_eq!(
+        exec.grouped(&GroupedQuery::new(
+            "a",
+            ErasedKey::Str("x".into()),
+            ErasedKey::Str("y".into()),
+            16
+        )),
+        Err(EngineError::DomainMismatch("a".into()))
+    );
+
+    // A typed-empty predicate (low > high) empties the conjunction
+    // without scanning — and an inverted grouped range selects nothing.
+    let answer = exec
+        .execute(&[
+            Predicate::between_u64("a", 0, u64::MAX),
+            Predicate::between_u64("b", 10, 9),
+        ])
+        .unwrap();
+    assert_eq!(answer.count, 0);
+    assert_eq!(answer.sums, vec![Some(ErasedSum::U64(0)); 2]);
+    assert_eq!(
+        exec.grouped(&GroupedQuery::new(
+            "a",
+            ErasedKey::U64(10),
+            ErasedKey::U64(9),
+            16
+        ))
+        .unwrap(),
+        Vec::new()
+    );
+}
+
+#[test]
+fn planner_metrics_track_conjunctions_and_driving_choices() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let table = two_u64_columns(4_000, 10_000, 43);
+    converge_column(&table, 1);
+    let exec = MultiExecutor::with_metrics(Arc::clone(&table), foreground(), Arc::clone(&registry));
+    // Equal bounds on equal-size domains: ρ decides, so "b" drives.
+    for _ in 0..5 {
+        exec.execute(&[
+            Predicate::between_u64("a", 100, 5_000),
+            Predicate::between_u64("b", 100, 5_000),
+        ])
+        .unwrap();
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("planner.conjunctions"), Some(5));
+    let a = snapshot.counter("planner.driving.a").unwrap();
+    let b = snapshot.counter("planner.driving.b").unwrap();
+    assert_eq!(a + b, 5);
+    assert!(b >= a, "the converged column should win the tie-breaks");
+    assert!(snapshot.counter("planner.survivors_validated").unwrap() > 0);
+}

@@ -18,6 +18,11 @@
 //! * [`shard`] — equi-depth value-range partitioning of a column into
 //!   independent shards, the storage substrate of the `pi-engine` serving
 //!   layer, with live-weight drift detection for re-balancing.
+//! * [`digest`] — sparse, grid-aligned sub-shard aggregate trees
+//!   ([`DigestTree`]): exact `(SUM, COUNT, MIN, MAX)` per value bucket,
+//!   built per shard over a **global** grid so independently-built trees
+//!   merge exactly — the storage layout behind the engine's grouped
+//!   aggregates and hot-range aggregate cache.
 //! * [`delta`] — the pending-mutation sidecar ([`DeltaSidecar`]): sorted
 //!   insert/tombstone multisets plus tombstone-aware scan composition, the
 //!   storage half of update/delete support on progressive indexes.
@@ -53,6 +58,7 @@
 pub mod btree;
 pub mod column;
 pub mod delta;
+pub mod digest;
 pub mod encoding;
 pub mod scan;
 pub mod shard;
@@ -62,6 +68,7 @@ pub mod sorted;
 pub use btree::{BTreeBuilder, StaticBTree, DEFAULT_FANOUT};
 pub use column::{Column, Value};
 pub use delta::{DeltaScan, DeltaSidecar};
+pub use digest::{DigestTree, GroupCell};
 pub use encoding::{OrderedKey, StrPrefix, STR_PREFIX_LEN};
 pub use scan::ScanResult;
 pub use shard::RangePartition;

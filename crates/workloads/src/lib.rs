@@ -24,6 +24,9 @@
 //! * [`domains`] — float and string key-domain generators (uniform and
 //!   skewed data, range-query streams) for the typed serving layer built
 //!   on order-preserving encodings.
+//! * [`multicol`] — row-aligned multi-column data sets and conjunction
+//!   streams with per-column target selectivities (plus heterogeneous
+//!   u64/f64/string row sets) for the multi-column query engine.
 //!
 //! All generators are deterministic given a seed, and all sizes are
 //! parameters so the same code scales from unit tests to full experiment
@@ -49,6 +52,7 @@ pub mod data;
 pub mod domains;
 pub mod mixed;
 pub mod multi_client;
+pub mod multicol;
 pub mod patterns;
 pub mod skyserver;
 

@@ -1,0 +1,144 @@
+//! Multi-column workloads: row sets and conjunction streams.
+//!
+//! The multi-column engine (`pi_engine::multicol`) executes conjunctions
+//! (`WHERE a BETWEEN .. AND b BETWEEN ..`) over row-aligned column sets.
+//! This module generates the matching workloads, under the crate's usual
+//! contract — deterministic per seed, sized by parameters:
+//!
+//! * [`u64_columns`] — k row-aligned `u64` columns, independently
+//!   uniform, so a predicate covering a fraction `s` of the value domain
+//!   matches ≈ `s` of the rows (the selectivity knob the conjunction
+//!   planner is benched against).
+//! * [`conjunction_ranges`] — conjunction streams with a **target
+//!   selectivity per column**: the skewed-selectivity sweep drives one
+//!   column at 90% and another at 0.1%, which is exactly the case where
+//!   driving the wrong column costs ~900× the validation work.
+//! * [`hetero_rows`] — row-aligned u64 + f64 + string columns (reusing
+//!   the [`crate::domains`] generators) for heterogeneous-table
+//!   conjunctions through the column-erased facade.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Distribution;
+use crate::domains::{float_data, string_data};
+
+/// Generates `columns` row-aligned `u64` columns of `rows` values each,
+/// independently uniform over `[0, domain)`. Column `c` uses seed
+/// `seed + c`, so streams are reproducible per column as well as per
+/// table.
+pub fn u64_columns(columns: usize, rows: usize, domain: u64, seed: u64) -> Vec<Vec<u64>> {
+    assert!(domain > 0, "value domain must be non-empty");
+    (0..columns)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(c as u64));
+            (0..rows).map(|_| rng.gen_range(0..domain)).collect()
+        })
+        .collect()
+}
+
+/// Generates `count` conjunctions over `[0, domain)`, one `(low, high)`
+/// bound pair per entry of `selectivities`: predicate `c` covers the
+/// fraction `selectivities[c]` of the domain at a uniformly random
+/// position. Over uniform data ([`u64_columns`]) the domain fraction is
+/// the expected row selectivity.
+pub fn conjunction_ranges(
+    selectivities: &[f64],
+    domain: u64,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<(u64, u64)>> {
+    assert!(domain > 0, "value domain must be non-empty");
+    assert!(
+        selectivities.iter().all(|s| (0.0..=1.0).contains(s)),
+        "selectivities are domain fractions"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            selectivities
+                .iter()
+                .map(|&s| {
+                    // At least one value wide, never wider than the domain.
+                    let span = ((domain as f64 * s) as u64).clamp(1, domain);
+                    let low = rng.gen_range(0..domain.saturating_sub(span).max(1));
+                    (low, low + span - 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates `rows` row-aligned heterogeneous rows: a `u64` id-like
+/// column over `[0, rows)`, an `f64` measurement column over the
+/// symmetric domain `[-half, half)`, and a lowercase string column —
+/// the three key domains a heterogeneous conjunction must mix. The
+/// string column uses `distribution` (its skewed variant piles 90% of
+/// rows onto one hot 8-byte-prefix code, the over-selection stress case
+/// for code-space candidate scans).
+pub fn hetero_rows(
+    distribution: Distribution,
+    rows: usize,
+    half: f64,
+    seed: u64,
+) -> (Vec<u64>, Vec<f64>, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = (0..rows)
+        .map(|_| rng.gen_range(0..rows.max(1) as u64))
+        .collect();
+    let floats = float_data(distribution, rows, half, seed.wrapping_add(1));
+    let strings = string_data(distribution, rows, seed.wrapping_add(2));
+    (ids, floats, strings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_deterministic_and_row_aligned() {
+        let a = u64_columns(3, 500, 10_000, 7);
+        let b = u64_columns(3, 500, 10_000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|col| col.len() == 500));
+        assert!(a[0] != a[1], "columns draw independent streams");
+        assert!(a.iter().flatten().all(|&v| v < 10_000));
+    }
+
+    #[test]
+    fn conjunction_ranges_hit_their_target_widths() {
+        let domain = 1_000_000u64;
+        let ranges = conjunction_ranges(&[0.9, 0.001], domain, 50, 11);
+        assert_eq!(ranges.len(), 50);
+        for conj in &ranges {
+            assert_eq!(conj.len(), 2);
+            let (lo0, hi0) = conj[0];
+            let (lo1, hi1) = conj[1];
+            assert_eq!(hi0 - lo0 + 1, (domain as f64 * 0.9) as u64);
+            assert_eq!(hi1 - lo1 + 1, (domain as f64 * 0.001) as u64);
+            assert!(hi0 < domain && hi1 < domain);
+        }
+    }
+
+    #[test]
+    fn degenerate_selectivities_stay_in_domain() {
+        for conj in conjunction_ranges(&[0.0, 1.0], 100, 20, 3) {
+            for &(low, high) in &conj {
+                assert!(low <= high);
+                assert!(high < 200, "span clamps keep bounds near the domain");
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_rows_are_aligned_and_deterministic() {
+        let (ids, floats, strings) = hetero_rows(Distribution::UniformRandom, 300, 100.0, 5);
+        assert_eq!(ids.len(), 300);
+        assert_eq!(floats.len(), 300);
+        assert_eq!(strings.len(), 300);
+        assert!(floats.iter().all(|f| f.is_finite()));
+        let again = hetero_rows(Distribution::UniformRandom, 300, 100.0, 5);
+        assert_eq!(ids, again.0);
+        assert_eq!(strings, again.2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Property-based oracle tests for the multi-column layer: conjunctions
+//! and grouped aggregates must match sorted-`Vec` ground truth for
+//! **all four algorithms**, at **arbitrary refinement stages**, under
+//! **interleaved row mutations**, and over a **heterogeneous**
+//! u64/f64/string table.
+//!
+//! Every check also runs the conjunction with its predicates reversed:
+//! the result set must be independent of predicate order (and hence of
+//! the planner's driving choice) by construction.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pi_core::decision::Algorithm;
+use pi_engine::{
+    AlgorithmChoice, ErasedColumn, ErasedKey, ErasedSum, ExecutorConfig, GroupedQuery,
+    MultiColumnSpec, MultiExecutor, MultiTable, Predicate, RowMutation,
+};
+
+/// Foreground-only inner executors: refinement happens exactly when the
+/// test drives it, so "arbitrary refinement stage" is under the
+/// strategy's control.
+fn foreground() -> ExecutorConfig {
+    ExecutorConfig {
+        worker_threads: 2,
+        maintenance_steps: 0,
+        background_maintenance: false,
+    }
+}
+
+fn two_column_table(a: &[u64], b: &[u64], algorithm: Algorithm) -> Arc<MultiTable> {
+    Arc::new(
+        MultiTable::builder()
+            .column(
+                MultiColumnSpec::new("a", ErasedColumn::U64(a.to_vec()))
+                    .with_shards(3)
+                    .with_choice(AlgorithmChoice::Fixed(algorithm)),
+            )
+            .column(
+                MultiColumnSpec::new("b", ErasedColumn::U64(b.to_vec()))
+                    .with_shards(3)
+                    .with_choice(AlgorithmChoice::Fixed(algorithm)),
+            )
+            .build(),
+    )
+}
+
+/// The mirrored ground truth: plain rows plus a live mask, mutated in
+/// lockstep with the table.
+struct Mirror {
+    rows: Vec<(u64, u64)>,
+    live: Vec<bool>,
+}
+
+impl Mirror {
+    fn new(a: &[u64], b: &[u64]) -> Self {
+        Mirror {
+            rows: a.iter().copied().zip(b.iter().copied()).collect(),
+            live: vec![true; a.len()],
+        }
+    }
+
+    fn conjunction(&self, ra: (u64, u64), rb: (u64, u64)) -> (u64, u128, u128) {
+        let (mut count, mut sum_a, mut sum_b) = (0u64, 0u128, 0u128);
+        for (&(va, vb), &live) in self.rows.iter().zip(&self.live) {
+            if live && va >= ra.0 && va <= ra.1 && vb >= rb.0 && vb <= rb.1 {
+                count += 1;
+                sum_a += va as u128;
+                sum_b += vb as u128;
+            }
+        }
+        (count, sum_a, sum_b)
+    }
+
+    /// Applies the op-coded mutation derived from one query tuple and
+    /// mirrors it; returns the table-side mutation.
+    fn derive_mutation(&mut self, op: u64, v1: u64, v2: u64) -> RowMutation {
+        match op % 3 {
+            0 => {
+                self.rows.push((v1, v2));
+                self.live.push(true);
+                RowMutation::Insert(vec![ErasedKey::U64(v1), ErasedKey::U64(v2)])
+            }
+            1 => {
+                let row = (v1 as usize) % self.rows.len();
+                if self.live[row] {
+                    self.live[row] = false;
+                }
+                RowMutation::Delete(row)
+            }
+            _ => {
+                let row = (v1 as usize) % self.rows.len();
+                if self.live[row] {
+                    self.rows[row] = (v2, v1);
+                }
+                RowMutation::Update {
+                    row,
+                    keys: vec![ErasedKey::U64(v2), ErasedKey::U64(v1)],
+                }
+            }
+        }
+    }
+}
+
+/// Query bounds drawn by [`conjunction_world`]: `(a_low, a_high,
+/// b_low, b_high)`, ordered in the test.
+type QueryScript = Vec<(u64, u64, u64, u64)>;
+
+/// Mutation/refinement steps drawn by [`conjunction_world`]:
+/// `(op_word, v1, v2)` — `op_word` encodes the refinement slice,
+/// whether to mutate, and the mutation kind.
+type StepScript = Vec<(u64, u64, u64)>;
+
+/// Strategy: two row-aligned columns, a [`QueryScript`] of conjunction
+/// bounds, and a [`StepScript`] of interleaved refinement + mutation
+/// steps.
+fn conjunction_world() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, QueryScript, StepScript)> {
+    let domain = 3_000u64;
+    (
+        prop::collection::vec(0..domain, 20..160),
+        prop::collection::vec(0..domain, 20..160),
+        prop::collection::vec((0..domain, 0..domain, 0..domain, 0..domain), 1..8),
+        prop::collection::vec((0..8u64, 0..domain, 0..domain), 1..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For every algorithm: conjunction answers equal the mirror's at
+    /// every refinement stage, under interleaved mutations, in both
+    /// predicate orders.
+    #[test]
+    fn conjunctions_match_the_oracle_for_every_algorithm(
+        (a, b, queries, script) in conjunction_world()
+    ) {
+        let rows = a.len().min(b.len());
+        let (a, b) = (&a[..rows], &b[..rows]);
+        for algorithm in Algorithm::ALL {
+            let table = two_column_table(a, b, algorithm);
+            let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+            let mut mirror = Mirror::new(a, b);
+            for (i, &(qa0, qa1, qb0, qb1)) in queries.iter().enumerate() {
+                // Interleave: an arbitrary refinement slice and (for
+                // matching script steps) a row mutation before the query.
+                if let Some(&(op, v1, v2)) = script.get(i) {
+                    exec.drive_to_convergence((op % 8) as usize * 3);
+                    let mutation = mirror.derive_mutation(op, v1, v2);
+                    exec.apply_rows(std::slice::from_ref(&mutation));
+                }
+                let ra = (qa0.min(qa1), qa0.max(qa1));
+                let rb = (qb0.min(qb1), qb0.max(qb1));
+                let fwd = [
+                    Predicate::between_u64("a", ra.0, ra.1),
+                    Predicate::between_u64("b", rb.0, rb.1),
+                ];
+                let rev = [fwd[1].clone(), fwd[0].clone()];
+                let x = exec.execute(&fwd).unwrap();
+                let y = exec.execute(&rev).unwrap();
+                let (count, sum_a, sum_b) = mirror.conjunction(ra, rb);
+                prop_assert_eq!(
+                    (x.count, x.sums[0], x.sums[1]),
+                    (count, Some(ErasedSum::U64(sum_a)), Some(ErasedSum::U64(sum_b))),
+                    "{} fwd a={:?} b={:?}", algorithm, ra, rb
+                );
+                prop_assert_eq!(
+                    (y.count, y.sums[0], y.sums[1]),
+                    (count, Some(ErasedSum::U64(sum_b)), Some(ErasedSum::U64(sum_a))),
+                    "{} rev a={:?} b={:?}", algorithm, ra, rb
+                );
+            }
+            // And once more at full convergence.
+            exec.drive_to_convergence(usize::MAX);
+            prop_assert!(table.inner().is_converged());
+            let last = mirror.conjunction((0, u64::MAX), (0, u64::MAX));
+            let full = exec.execute(&[
+                Predicate::between_u64("a", 0, u64::MAX),
+                Predicate::between_u64("b", 0, u64::MAX),
+            ]).unwrap();
+            prop_assert_eq!(full.count, last.0, "{} full scan", algorithm);
+        }
+    }
+
+    /// For every algorithm: grouped aggregates (SUM/COUNT/MIN/MAX GROUP
+    /// BY bucket) equal a sorted-Vec fold of the live multiset, through
+    /// cache reuse and mutation-driven invalidation.
+    #[test]
+    fn grouped_aggregates_match_the_oracle_for_every_algorithm(
+        (values, width_seed, script) in (
+            prop::collection::vec(0..4_096u64, 10..200),
+            1..512u64,
+            prop::collection::vec((0..8u64, 0..4_096u64, 0..4_096u64), 1..6),
+        )
+    ) {
+        for algorithm in Algorithm::ALL {
+            let table = Arc::new(
+                MultiTable::builder()
+                    .column(
+                        MultiColumnSpec::new("v", ErasedColumn::U64(values.clone()))
+                            .with_shards(3)
+                            .with_choice(AlgorithmChoice::Fixed(algorithm)),
+                    )
+                    .build(),
+            );
+            let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+            let mut live: Vec<(u64, bool)> = values.iter().map(|&v| (v, true)).collect();
+            for &(op, v1, v2) in &script {
+                // Query → mutate → query: the second read must observe
+                // the mutation (the cache-stamp invariant), and every
+                // read must match the fold of the live multiset.
+                let (low, high) = (v1.min(v2), v1.max(v2));
+                let width = width_seed + op;
+                for _ in 0..2 {
+                    let got = exec.grouped(&GroupedQuery::new(
+                        "v",
+                        ErasedKey::U64(low),
+                        ErasedKey::U64(high),
+                        width,
+                    )).unwrap();
+                    let want = grouped_fold(&live, low, high, width);
+                    prop_assert_eq!(got.len(), want.len(), "{} w={}", algorithm, width);
+                    for (g, (bucket, count, sum, min, max)) in got.iter().zip(&want) {
+                        prop_assert_eq!(
+                            (g.bucket, g.count, g.sum, g.min.clone(), g.max.clone()),
+                            (
+                                *bucket,
+                                *count,
+                                Some(ErasedSum::U64(*sum)),
+                                Some(ErasedKey::U64(*min)),
+                                Some(ErasedKey::U64(*max)),
+                            ),
+                            "{} [{}, {}] w={}", algorithm, low, high, width
+                        );
+                    }
+                    // Mutate between the two reads of the first pass.
+                    match op % 3 {
+                        0 => {
+                            live.push((v1, true));
+                            exec.apply_rows(&[RowMutation::Insert(vec![ErasedKey::U64(v1)])]);
+                        }
+                        1 => {
+                            let row = (v1 as usize) % live.len();
+                            if live[row].1 {
+                                live[row].1 = false;
+                            }
+                            exec.apply_rows(&[RowMutation::Delete(row)]);
+                        }
+                        _ => {
+                            let row = (v1 as usize) % live.len();
+                            if live[row].1 {
+                                live[row].0 = v2;
+                            }
+                            exec.apply_rows(&[RowMutation::Update {
+                                row,
+                                keys: vec![ErasedKey::U64(v2)],
+                            }]);
+                        }
+                    }
+                }
+                exec.drive_to_convergence((op % 5) as usize * 7);
+            }
+        }
+    }
+
+    /// Heterogeneous u64/f64/string tables: conjunctions across all
+    /// three domains stay oracle-exact at arbitrary refinement stages
+    /// and under interleaved mutations, in both predicate orders.
+    #[test]
+    fn heterogeneous_conjunctions_match_the_oracle(
+        (seeds, queries, script) in (
+            prop::collection::vec((0..1_000u64, 0..1_000u64, 0..1_000u64), 20..120),
+            prop::collection::vec((0..1_000u64, 0..1_000u64, 0..1_000u64, 0..1_000u64), 1..6),
+            prop::collection::vec((0..8u64, 0..1_000u64, 0..1_000u64), 1..6),
+        )
+    ) {
+        // Map u64 seeds into the three domains. The string map reuses
+        // one hot 11-byte prefix for ~half the rows, so distinct keys
+        // tie on the 8-byte code and validation must untie them.
+        let ids: Vec<u64> = seeds.iter().map(|s| s.0).collect();
+        let floats: Vec<f64> = seeds.iter().map(|s| float_key(s.1)).collect();
+        let strings: Vec<String> = seeds.iter().map(|s| string_key(s.2)).collect();
+        let table = Arc::new(
+            MultiTable::builder()
+                .column(MultiColumnSpec::new("id", ErasedColumn::U64(ids.clone())).with_shards(3))
+                .column(MultiColumnSpec::new("t", ErasedColumn::F64(floats.clone())).with_shards(3))
+                .column(MultiColumnSpec::new("s", ErasedColumn::Str(strings.clone())).with_shards(3))
+                .build(),
+        );
+        let exec = MultiExecutor::with_config(Arc::clone(&table), foreground());
+        let mut rows: Vec<(u64, f64, String, bool)> = (0..ids.len())
+            .map(|r| (ids[r], floats[r], strings[r].clone(), true))
+            .collect();
+        for (i, &(q0, q1, q2, q3)) in queries.iter().enumerate() {
+            if let Some(&(op, v1, v2)) = script.get(i) {
+                exec.drive_to_convergence((op % 6) as usize * 5);
+                match op % 3 {
+                    0 => {
+                        rows.push((v1, float_key(v2), string_key(v1 ^ v2), true));
+                        exec.apply_rows(&[RowMutation::Insert(vec![
+                            ErasedKey::U64(v1),
+                            ErasedKey::F64(float_key(v2)),
+                            ErasedKey::Str(string_key(v1 ^ v2)),
+                        ])]);
+                    }
+                    1 => {
+                        let row = (v1 as usize) % rows.len();
+                        if rows[row].3 {
+                            rows[row].3 = false;
+                        }
+                        exec.apply_rows(&[RowMutation::Delete(row)]);
+                    }
+                    _ => {
+                        let row = (v1 as usize) % rows.len();
+                        if rows[row].3 {
+                            rows[row] = (v2, float_key(v1), string_key(v2), true);
+                        }
+                        exec.apply_rows(&[RowMutation::Update {
+                            row,
+                            keys: vec![
+                                ErasedKey::U64(v2),
+                                ErasedKey::F64(float_key(v1)),
+                                ErasedKey::Str(string_key(v2)),
+                            ],
+                        }]);
+                    }
+                }
+            }
+            let ir = (q0.min(q1), q0.max(q1));
+            let fr = (float_key(q2.min(q3)), float_key(q2.max(q3)));
+            let (s0, s1) = (string_key(q1), string_key(q2));
+            let sr = if s0 <= s1 { (s0, s1) } else { (s1, s0) };
+            let predicates = [
+                Predicate::new("id", ErasedKey::U64(ir.0), ErasedKey::U64(ir.1)),
+                Predicate::new("t", ErasedKey::F64(fr.0), ErasedKey::F64(fr.1)),
+                Predicate::new("s", ErasedKey::Str(sr.0.clone()), ErasedKey::Str(sr.1.clone())),
+            ];
+            let reversed: Vec<Predicate> = predicates.iter().rev().cloned().collect();
+            let want = rows
+                .iter()
+                .filter(|(id, t, s, alive)| {
+                    *alive
+                        && (ir.0..=ir.1).contains(id)
+                        && *t >= fr.0
+                        && *t <= fr.1
+                        && s.as_str() >= sr.0.as_str()
+                        && s.as_str() <= sr.1.as_str()
+                })
+                .count() as u64;
+            let x = exec.execute(&predicates).unwrap();
+            let y = exec.execute(&reversed).unwrap();
+            prop_assert_eq!(x.count, want, "id={:?} t={:?} s={:?}", ir, fr, sr);
+            prop_assert_eq!(y.count, want, "reversed");
+            prop_assert_eq!(x.sums[1], None, "f64 sums stay gated off");
+            prop_assert_eq!(x.sums[2], None, "string sums stay gated off");
+        }
+    }
+}
+
+/// `f64` key of a seed: affine map into `[-500, 500)`, exact in both
+/// directions for integer seeds this small.
+fn float_key(seed: u64) -> f64 {
+    seed as f64 - 500.0
+}
+
+/// String key of a seed: roughly half the keys share an 11-byte hot
+/// prefix (one 8-byte code, many distinct keys), the rest are short and
+/// distinct.
+fn string_key(seed: u64) -> String {
+    if seed.is_multiple_of(2) {
+        format!("progressive{:04}", seed % 1_000)
+    } else {
+        format!("k{:03}", seed % 1_000)
+    }
+}
+
+/// Sorted-`Vec` ground truth for a grouped aggregate over the live
+/// multiset: whole-bucket semantics on the global grid.
+fn grouped_fold(
+    live: &[(u64, bool)],
+    low: u64,
+    high: u64,
+    width: u64,
+) -> Vec<(u64, u64, u128, u64, u64)> {
+    use std::collections::BTreeMap;
+    let mut cells: BTreeMap<u64, (u64, u128, u64, u64)> = BTreeMap::new();
+    for &(v, alive) in live {
+        if alive {
+            let cell = cells.entry(v / width).or_insert((0, 0, u64::MAX, u64::MIN));
+            cell.0 += 1;
+            cell.1 += v as u128;
+            cell.2 = cell.2.min(v);
+            cell.3 = cell.3.max(v);
+        }
+    }
+    cells
+        .into_iter()
+        .filter(|&(bucket, _)| bucket >= low / width && bucket <= high / width)
+        .map(|(bucket, (count, sum, min, max))| (bucket, count, sum, min, max))
+        .collect()
+}
