@@ -64,6 +64,25 @@ pub const fn max_radix_levels(radix_bits: u32) -> u32 {
     ENCODED_DOMAIN_BITS.div_ceil(radix_bits)
 }
 
+/// Number of radix rounds needed to fully partition a domain of
+/// `domain_bits` significant bits with `radix_bits` consumed per round:
+/// `⌈domain_bits / radix_bits⌉`, at least one round, capped by
+/// [`max_radix_levels`]. Both radix variants size their planning through
+/// this single helper (LSD pass count, MSD recursion depth bound).
+///
+/// # Panics
+/// Panics when `radix_bits == 0`.
+pub const fn radix_rounds(domain_bits: u32, radix_bits: u32) -> u32 {
+    let rounds = domain_bits.div_ceil(radix_bits);
+    let rounds = if rounds == 0 { 1 } else { rounds };
+    let cap = max_radix_levels(radix_bits);
+    if rounds > cap {
+        cap
+    } else {
+        rounds
+    }
+}
+
 /// A bucket stored as a list of fixed-capacity blocks.
 #[derive(Debug, Clone, Default)]
 pub struct BlockBucket {
@@ -185,11 +204,95 @@ impl BlockBucket {
         result
     }
 
+    /// Appends a whole run of values block-wise (memcpy-class, no
+    /// per-element capacity branch). Returns the number of block
+    /// allocations performed — the `τ` events of the cost model, so the
+    /// caller's accounting matches an equivalent sequence of
+    /// [`BlockBucket::push`] calls exactly.
+    pub fn extend_from_slice(&mut self, mut values: &[Value]) -> u64 {
+        let mut allocations = 0u64;
+        while !values.is_empty() {
+            let spare = match self.blocks.last() {
+                Some(last) if last.len() < self.block_capacity => self.block_capacity - last.len(),
+                _ => {
+                    self.blocks.push(Vec::with_capacity(self.block_capacity));
+                    allocations += 1;
+                    self.block_capacity
+                }
+            };
+            let take = spare.min(values.len());
+            let block = self
+                .blocks
+                .last_mut()
+                .expect("bucket always has a current block after the allocation check");
+            block.extend_from_slice(&values[..take]);
+            self.len += take;
+            values = &values[take..];
+        }
+        allocations
+    }
+
     /// Copies all elements into `out` in insertion order.
     pub fn append_to(&self, out: &mut Vec<Value>) {
         for block in &self.blocks {
             out.extend_from_slice(block);
         }
+    }
+
+    /// Copies the elements at insertion positions `[from, from + out.len())`
+    /// into `out`, block-wise. The merge loops use this instead of a
+    /// per-element [`BlockBucket::get`] (which costs an integer division
+    /// per element).
+    ///
+    /// # Panics
+    /// Panics when the requested range reaches past `self.len()`.
+    pub fn copy_range_to(&self, from: usize, out: &mut [Value]) {
+        assert!(
+            from + out.len() <= self.len,
+            "copy range {}..{} out of bounds (len {})",
+            from,
+            from + out.len(),
+            self.len
+        );
+        let mut written = 0usize;
+        for slice in self.block_slices(from, out.len()) {
+            out[written..written + slice.len()].copy_from_slice(slice);
+            written += slice.len();
+        }
+    }
+
+    /// Iterator over the contiguous block sub-slices covering insertion
+    /// positions `[from, from + len)`. This is the bucket-drain primitive:
+    /// the tuned refinement kernels pull whole slices out of the source
+    /// bucket and scatter them, instead of calling [`BlockBucket::get`]
+    /// once per element.
+    ///
+    /// # Panics
+    /// Panics when `from + len > self.len()`.
+    pub fn block_slices(&self, from: usize, len: usize) -> impl Iterator<Item = &[Value]> {
+        assert!(
+            from + len <= self.len,
+            "slice range {}..{} out of bounds (len {})",
+            from,
+            from + len,
+            self.len
+        );
+        let first_block = from / self.block_capacity;
+        let mut skip = from % self.block_capacity;
+        let mut remaining = len;
+        self.blocks[first_block.min(self.blocks.len())..]
+            .iter()
+            .map_while(move |block| {
+                if remaining == 0 {
+                    return None;
+                }
+                let start = skip;
+                skip = 0;
+                let take = (block.len() - start).min(remaining);
+                remaining -= take;
+                Some(&block[start..start + take])
+            })
+            .filter(|s| !s.is_empty())
     }
 
     /// Drops all blocks, releasing their memory.
@@ -259,6 +362,19 @@ impl BucketSet {
             self.allocations += 1;
         }
         self.len += 1;
+    }
+
+    /// Appends a whole run of values to bucket `bucket` block-wise,
+    /// keeping the allocation count identical to pushing them one by
+    /// one. The tuned refinement kernels land each scatter group with
+    /// one call.
+    ///
+    /// # Panics
+    /// Panics when `bucket` is out of range.
+    #[inline]
+    pub fn extend_from_slice(&mut self, bucket: usize, values: &[Value]) {
+        self.allocations += self.buckets[bucket].extend_from_slice(values);
+        self.len += values.len();
     }
 
     /// Immutable access to bucket `i`.
@@ -452,6 +568,101 @@ mod tests {
         assert_eq!(max_radix_levels(64), 1);
         // Every encoded domain's planning stays within the bound.
         assert!(domain_bits(0, u64::MAX).div_ceil(radix_bits) <= max_radix_levels(radix_bits));
+    }
+
+    #[test]
+    fn extend_from_slice_matches_push_sequence() {
+        for (cap, runs) in [
+            (4usize, vec![3usize, 5, 0, 4, 1]),
+            (2, vec![7, 1]),
+            (16, vec![1, 1, 1]),
+        ] {
+            let mut pushed = BlockBucket::new(cap);
+            let mut extended = BlockBucket::new(cap);
+            let mut pushed_allocs = 0u64;
+            let mut extended_allocs = 0u64;
+            let mut next = 0u64;
+            for run in runs {
+                let values: Vec<Value> = (next..next + run as u64).collect();
+                next += run as u64;
+                for &v in &values {
+                    if pushed.push(v) {
+                        pushed_allocs += 1;
+                    }
+                }
+                extended_allocs += extended.extend_from_slice(&values);
+            }
+            assert_eq!(pushed_allocs, extended_allocs, "cap {cap}");
+            assert_eq!(pushed.len(), extended.len());
+            assert_eq!(pushed.block_count(), extended.block_count());
+            assert_eq!(
+                pushed.iter().collect::<Vec<_>>(),
+                extended.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn copy_range_to_matches_per_element_get() {
+        let mut b = BlockBucket::new(3);
+        for v in 0..11u64 {
+            b.push(v * 10);
+        }
+        for (from, len) in [(0usize, 11usize), (0, 0), (2, 5), (3, 3), (10, 1), (11, 0)] {
+            let mut out = vec![0; len];
+            b.copy_range_to(from, &mut out);
+            let want: Vec<Value> = (from..from + len).map(|i| b.get(i)).collect();
+            assert_eq!(out, want, "from {from} len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_range_to_rejects_overrun() {
+        let mut b = BlockBucket::new(2);
+        b.push(1);
+        let mut out = vec![0; 2];
+        b.copy_range_to(0, &mut out);
+    }
+
+    #[test]
+    fn block_slices_cover_range_in_order() {
+        let mut b = BlockBucket::new(4);
+        for v in 0..10u64 {
+            b.push(v);
+        }
+        let flat: Vec<Value> = b.block_slices(3, 6).flatten().copied().collect();
+        assert_eq!(flat, vec![3, 4, 5, 6, 7, 8]);
+        assert_eq!(b.block_slices(0, 0).count(), 0);
+        assert_eq!(b.block_slices(10, 0).count(), 0);
+    }
+
+    #[test]
+    fn bucket_set_extend_tracks_len_and_allocations() {
+        let mut pushed = BucketSet::new(2, 2);
+        let mut extended = BucketSet::new(2, 2);
+        for v in 0..7u64 {
+            pushed.push((v % 2) as usize, v);
+        }
+        extended.extend_from_slice(0, &[0, 2, 4, 6]);
+        extended.extend_from_slice(1, &[1, 3, 5]);
+        assert_eq!(pushed.len(), extended.len());
+        assert_eq!(pushed.allocations(), extended.allocations());
+        assert_eq!(pushed.sizes(), extended.sizes());
+    }
+
+    #[test]
+    fn radix_rounds_matches_lsd_formula_and_cap() {
+        let radix_bits = (DEFAULT_BUCKET_COUNT as u32).trailing_zeros();
+        assert_eq!(radix_rounds(0, radix_bits), 1); // single-value domain
+        assert_eq!(radix_rounds(1, radix_bits), 1);
+        assert_eq!(radix_rounds(6, radix_bits), 1);
+        assert_eq!(radix_rounds(7, radix_bits), 2);
+        assert_eq!(radix_rounds(12, radix_bits), 2);
+        assert_eq!(
+            radix_rounds(ENCODED_DOMAIN_BITS, radix_bits),
+            max_radix_levels(radix_bits)
+        );
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod budget;
 pub mod cost_model;
 pub mod decision;
 pub mod index;
+pub mod kernels;
 pub mod metrics;
 pub mod mutation;
 pub mod quicksort;
@@ -85,6 +86,7 @@ pub mod radix_msd;
 pub mod result;
 pub mod sorter;
 pub mod testing;
+pub mod tuning;
 
 pub use bucketsort::ProgressiveBucketsort;
 pub use budget::{BudgetController, BudgetPolicy};
@@ -97,6 +99,7 @@ pub use quicksort::ProgressiveQuicksort;
 pub use radix_lsd::ProgressiveRadixsortLsd;
 pub use radix_msd::ProgressiveRadixsortMsd;
 pub use result::{IndexStatus, Phase, QueryResult};
+pub use tuning::{KernelMode, TuningParameters};
 
 /// Convenient glob-import of the types needed to use the library:
 /// `use pi_core::prelude::*;`.
@@ -111,4 +114,5 @@ pub mod prelude {
     pub use crate::radix_lsd::ProgressiveRadixsortLsd;
     pub use crate::radix_msd::ProgressiveRadixsortMsd;
     pub use crate::result::{IndexStatus, Phase, QueryResult};
+    pub use crate::tuning::{KernelMode, TuningParameters};
 }

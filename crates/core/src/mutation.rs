@@ -78,10 +78,12 @@ use pi_storage::scan::ScanResult;
 use pi_storage::{Column, Value};
 
 use crate::budget::BudgetPolicy;
+use crate::cost_model::CostConstants;
 use crate::decision::Algorithm;
 use crate::index::RangeIndex;
 use crate::metrics::IndexMetrics;
 use crate::result::{IndexStatus, Phase, QueryResult};
+use crate::tuning::TuningParameters;
 
 /// Callback invoked every time a [`MutableIndex`] completes an
 /// incremental sidecar merge (the argument is the index's total completed
@@ -127,6 +129,10 @@ pub struct MutableConfig {
     /// Fraction of the merged snapshot's rows copied per budgeted merge
     /// step — the merge-phase analogue of the per-query δ.
     pub merge_delta: f64,
+    /// Kernel tuning constants handed to the inner progressive index
+    /// (and to every rebuilt snapshot after a merge). Result-neutral —
+    /// see [`crate::tuning`].
+    pub tuning: TuningParameters,
 }
 
 impl Default for MutableConfig {
@@ -135,6 +141,7 @@ impl Default for MutableConfig {
             merge_fraction: 0.1,
             merge_min_pending: 256,
             merge_delta: 0.25,
+            tuning: TuningParameters::default(),
         }
     }
 }
@@ -257,7 +264,14 @@ impl MutableIndex {
         policy: BudgetPolicy,
         config: MutableConfig,
     ) -> Self {
-        let inner = (!column.is_empty()).then(|| algorithm.build(Arc::clone(&column), policy));
+        let inner = (!column.is_empty()).then(|| {
+            algorithm.build_tuned(
+                Arc::clone(&column),
+                policy,
+                CostConstants::synthetic(),
+                config.tuning,
+            )
+        });
         MutableIndex {
             base: column,
             inner,
@@ -434,8 +448,14 @@ impl MutableIndex {
         if finished {
             let merge = self.merge.take().expect("merge in flight");
             let column = Arc::new(Column::from_vec(merge.out));
-            self.inner = (!column.is_empty())
-                .then(|| self.algorithm.build(Arc::clone(&column), self.policy));
+            self.inner = (!column.is_empty()).then(|| {
+                self.algorithm.build_tuned(
+                    Arc::clone(&column),
+                    self.policy,
+                    CostConstants::synthetic(),
+                    self.config.tuning,
+                )
+            });
             self.base = column;
             self.merges_completed += 1;
             if let Some(hook) = &self.merge_hook {

@@ -32,6 +32,7 @@ use crate::cost_model::{CostConstants, CostModel};
 use crate::index::RangeIndex;
 use crate::result::{IndexStatus, Phase, QueryResult};
 use crate::sorter::{IncrementalSorter, DEFAULT_SMALL_NODE_ELEMENTS};
+use crate::tuning::TuningParameters;
 
 /// Tuning parameters for [`ProgressiveQuicksort`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +42,9 @@ pub struct QuicksortConfig {
     pub small_node_elements: usize,
     /// Fan-out β of the consolidation-phase B+-tree.
     pub btree_fanout: usize,
+    /// Kernel tuning constants for the small-node sorts; result-neutral
+    /// (see [`crate::tuning`]).
+    pub tuning: TuningParameters,
 }
 
 impl Default for QuicksortConfig {
@@ -48,6 +52,7 @@ impl Default for QuicksortConfig {
         QuicksortConfig {
             small_node_elements: DEFAULT_SMALL_NODE_ELEMENTS,
             btree_fanout: DEFAULT_FANOUT,
+            tuning: TuningParameters::default(),
         }
     }
 }
@@ -234,7 +239,8 @@ impl ProgressiveQuicksort {
                 pivot,
                 boundary,
                 self.config.small_node_elements,
-            );
+            )
+            .with_tuning(self.config.tuning);
             self.state = State::Refinement { sorter };
             self.maybe_finish_refinement();
         }

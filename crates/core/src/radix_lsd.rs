@@ -26,7 +26,9 @@ use crate::buckets::{BucketSet, DEFAULT_BLOCK_CAPACITY, DEFAULT_BUCKET_COUNT};
 use crate::budget::{BudgetController, BudgetPolicy};
 use crate::cost_model::{CostConstants, CostModel};
 use crate::index::RangeIndex;
+use crate::kernels::{ScatterScratch, MAX_SCATTER_BUCKETS};
 use crate::result::{IndexStatus, Phase, QueryResult};
+use crate::tuning::{KernelMode, TuningParameters};
 
 /// Tuning parameters for [`ProgressiveRadixsortLsd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +39,9 @@ pub struct RadixLsdConfig {
     pub block_capacity: usize,
     /// Fan-out β of the consolidation-phase B+-tree.
     pub btree_fanout: usize,
+    /// Kernel tuning constants for the radix passes; result-neutral
+    /// (see [`crate::tuning`]).
+    pub tuning: TuningParameters,
 }
 
 impl Default for RadixLsdConfig {
@@ -45,6 +50,7 @@ impl Default for RadixLsdConfig {
             bucket_count: DEFAULT_BUCKET_COUNT,
             block_capacity: DEFAULT_BLOCK_CAPACITY,
             btree_fanout: DEFAULT_FANOUT,
+            tuning: TuningParameters::default(),
         }
     }
 }
@@ -97,6 +103,9 @@ pub struct ProgressiveRadixsortLsd {
     radix_bits: u32,
     rounds_total: u32,
     queries_executed: u64,
+    /// Reused scratch for the tuned scatter kernel; grows to the largest
+    /// refinement step and is never reallocated afterwards.
+    scratch: ScatterScratch,
 }
 
 impl ProgressiveRadixsortLsd {
@@ -131,7 +140,7 @@ impl ProgressiveRadixsortLsd {
         let min = column.min();
         let domain_bits = crate::buckets::domain_bits(min, column.max());
         let radix_bits = config.bucket_count.trailing_zeros();
-        let rounds_total = domain_bits.div_ceil(radix_bits).max(1);
+        let rounds_total = crate::buckets::radix_rounds(domain_bits, radix_bits);
         let state = if n == 0 {
             State::Converged {
                 sorted_data: Vec::new(),
@@ -154,6 +163,7 @@ impl ProgressiveRadixsortLsd {
             radix_bits,
             rounds_total,
             queries_executed: 0,
+            scratch: ScatterScratch::new(),
         }
     }
 
@@ -373,6 +383,8 @@ impl ProgressiveRadixsortLsd {
             };
             let shift = self.radix_bits * (*round - 1);
             let mask = (bucket_count - 1) as u64;
+            let tuning = self.config.tuning;
+            let tuned = tuning.mode == KernelMode::Tuned && bucket_count <= MAX_SCATTER_BUCKETS;
             while ops < budget && *src_bucket < bucket_count {
                 let bucket_len = source.bucket(*src_bucket).len();
                 if *src_pos >= bucket_len {
@@ -382,10 +394,31 @@ impl ProgressiveRadixsortLsd {
                     continue;
                 }
                 let take = (budget - ops).min(bucket_len - *src_pos);
-                for i in 0..take {
-                    let value = source.bucket(*src_bucket).get(*src_pos + i);
-                    let b = (((value - min) >> shift) & mask) as usize;
-                    target.push(b, value);
+                if tuned {
+                    // Tuned kernel: drain the source bucket block-wise
+                    // (no per-element division), group each slice by
+                    // target digit with the unrolled scatter, then land
+                    // every group with one block-wise append. Target
+                    // bucket contents — and the block-allocation count —
+                    // are bit-identical to the scalar loop below.
+                    let digit = |v: Value| (((v - min) >> shift) & mask) as u8;
+                    for slice in source.bucket(*src_bucket).block_slices(*src_pos, take) {
+                        let (grouped, offsets) =
+                            self.scratch
+                                .scatter(slice, bucket_count, tuning.unroll, &digit);
+                        for b in 0..bucket_count {
+                            let group = &grouped[offsets[b]..offsets[b + 1]];
+                            if !group.is_empty() {
+                                target.extend_from_slice(b, group);
+                            }
+                        }
+                    }
+                } else {
+                    for i in 0..take {
+                        let value = source.bucket(*src_bucket).get(*src_pos + i);
+                        let b = (((value - min) >> shift) & mask) as usize;
+                        target.push(b, value);
+                    }
                 }
                 *src_pos += take;
                 ops += take;
@@ -513,8 +546,16 @@ impl ProgressiveRadixsortLsd {
                 continue;
             }
             let take = (budget - ops).min(bucket_len - *cur_pos);
-            for i in 0..take {
-                merged[*written + i] = buckets.bucket(*cur_bucket).get(*cur_pos + i);
+            if self.config.tuning.mode == KernelMode::Tuned {
+                // Block-wise copy instead of a per-element `get` (which
+                // costs an integer division per element).
+                buckets
+                    .bucket(*cur_bucket)
+                    .copy_range_to(*cur_pos, &mut merged[*written..*written + take]);
+            } else {
+                for i in 0..take {
+                    merged[*written + i] = buckets.bucket(*cur_bucket).get(*cur_pos + i);
+                }
             }
             *written += take;
             *cur_pos += take;

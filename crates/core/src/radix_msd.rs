@@ -28,8 +28,10 @@ use crate::buckets::{
 use crate::budget::{BudgetController, BudgetPolicy};
 use crate::cost_model::{CostConstants, CostModel};
 use crate::index::RangeIndex;
+use crate::kernels::{ScatterScratch, MAX_SCATTER_BUCKETS};
 use crate::result::{IndexStatus, Phase, QueryResult};
 use crate::sorter::DEFAULT_SMALL_NODE_ELEMENTS;
+use crate::tuning::{KernelMode, TuningParameters};
 
 /// Tuning parameters for [`ProgressiveRadixsortMsd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +46,9 @@ pub struct RadixMsdConfig {
     pub small_bucket_elements: usize,
     /// Fan-out β of the consolidation-phase B+-tree.
     pub btree_fanout: usize,
+    /// Kernel tuning constants for the partition/sort steps;
+    /// result-neutral (see [`crate::tuning`]).
+    pub tuning: TuningParameters,
 }
 
 impl Default for RadixMsdConfig {
@@ -53,6 +58,7 @@ impl Default for RadixMsdConfig {
             block_capacity: DEFAULT_BLOCK_CAPACITY,
             small_bucket_elements: DEFAULT_SMALL_NODE_ELEMENTS,
             btree_fanout: DEFAULT_FANOUT,
+            tuning: TuningParameters::default(),
         }
     }
 }
@@ -130,6 +136,8 @@ pub struct ProgressiveRadixsortMsd {
     domain_bits: u32,
     radix_bits: u32,
     queries_executed: u64,
+    /// Reused scratch for the tuned scatter kernel.
+    scratch: ScatterScratch,
 }
 
 impl ProgressiveRadixsortMsd {
@@ -185,12 +193,22 @@ impl ProgressiveRadixsortMsd {
             domain_bits,
             radix_bits,
             queries_executed: 0,
+            scratch: ScatterScratch::new(),
         }
     }
 
     /// The cost model used by this index.
     pub fn cost_model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// Upper bound on the refinement tree's partitioning depth for this
+    /// column: `⌈domain_bits / log2 b⌉`, capped by
+    /// [`crate::buckets::max_radix_levels`]. Shares its sizing helper
+    /// ([`crate::buckets::radix_rounds`]) with the LSD variant's
+    /// [`crate::radix_lsd::ProgressiveRadixsortLsd::rounds_total`].
+    pub fn levels_total(&self) -> u32 {
+        crate::buckets::radix_rounds(self.domain_bits, self.radix_bits)
     }
 
     fn n(&self) -> usize {
@@ -327,6 +345,7 @@ impl ProgressiveRadixsortMsd {
         let block_capacity = self.config.block_capacity;
         let bucket_count = self.config.bucket_count;
         let small = self.config.small_bucket_elements;
+        let tuning = self.config.tuning;
 
         let State::Refinement {
             nodes,
@@ -376,6 +395,8 @@ impl ProgressiveRadixsortMsd {
                 block_capacity,
                 small,
                 budget - ops,
+                &tuning,
+                &mut self.scratch,
             );
             ops += used;
             if done {
@@ -559,6 +580,8 @@ fn refine_msd_node(
     block_capacity: usize,
     small: usize,
     budget: usize,
+    tuning: &TuningParameters,
+    scratch: &mut ScatterScratch,
 ) -> (bool, usize) {
     if budget == 0 {
         return (false, 0);
@@ -579,10 +602,14 @@ fn refine_msd_node(
             unreachable!("state checked above");
         };
         let out = &mut merged[node_offset..node_offset + node_len];
-        for (slot, value) in out.iter_mut().zip(bucket.iter()) {
-            *slot = value;
+        if tuning.mode == KernelMode::Tuned {
+            bucket.copy_range_to(0, out);
+        } else {
+            for (slot, value) in out.iter_mut().zip(bucket.iter()) {
+                *slot = value;
+            }
         }
-        out.sort_unstable();
+        crate::kernels::sort_region(out, tuning);
         *merged_len += node_len;
         return (true, node_len.max(1));
     }
@@ -618,18 +645,21 @@ fn refine_msd_node(
         };
     }
 
-    refine_msd_step(nodes, id, pending, min, budget)
+    refine_msd_step(nodes, id, pending, min, budget, tuning, scratch)
 }
 
 /// Moves up to `budget` elements of a `Refining` node from its source
 /// bucket into its children; finalises child offsets and enqueues the
 /// children when the source is exhausted.
+#[allow(clippy::too_many_arguments)]
 fn refine_msd_step(
     nodes: &mut [MsdNode],
     id: usize,
     pending: &mut VecDeque<usize>,
     min: Value,
     budget: usize,
+    tuning: &TuningParameters,
+    scratch: &mut ScatterScratch,
 ) -> (bool, usize) {
     let node_base = nodes[id].base;
     let node_width = nodes[id].width_bits;
@@ -650,20 +680,49 @@ fn refine_msd_step(
     let shift = node_width.saturating_sub(radix_bits);
     let child_count = children.len();
     let mut ops = 0usize;
-    while consumed < source.len() && ops < budget {
-        let value = source.get(consumed);
-        // Child index: the next radix digit of the value, relative to the
-        // node's normalised base.
-        let local = ((value - min) - node_base) >> shift;
-        let c = (local as usize).min(child_count - 1);
-        let child_id = children[c];
-        let MsdNodeState::Pending { bucket } = &mut nodes[child_id].state else {
-            unreachable!("children of a refining node are pending buckets");
+    let take = (source.len() - consumed).min(budget);
+    if tuning.mode == KernelMode::Tuned && child_count <= MAX_SCATTER_BUCKETS && take > 0 {
+        // Tuned kernel: drain the source bucket block-wise, group each
+        // slice by child digit with the unrolled scatter, then land each
+        // group in its child with one block-wise append. Child contents
+        // and lengths are bit-identical to the scalar loop below.
+        let digit = |v: Value| {
+            let local = ((v - min) - node_base) >> shift;
+            (local as usize).min(child_count - 1) as u8
         };
-        bucket.push(value);
-        nodes[child_id].len += 1;
-        consumed += 1;
-        ops += 1;
+        for slice in source.block_slices(consumed, take) {
+            let (grouped, offsets) = scratch.scatter(slice, child_count, tuning.unroll, &digit);
+            for c in 0..child_count {
+                let group = &grouped[offsets[c]..offsets[c + 1]];
+                if group.is_empty() {
+                    continue;
+                }
+                let child_id = children[c];
+                let MsdNodeState::Pending { bucket } = &mut nodes[child_id].state else {
+                    unreachable!("children of a refining node are pending buckets");
+                };
+                bucket.extend_from_slice(group);
+                nodes[child_id].len += group.len();
+            }
+        }
+        consumed += take;
+        ops = take;
+    } else {
+        while consumed < source.len() && ops < budget {
+            let value = source.get(consumed);
+            // Child index: the next radix digit of the value, relative to
+            // the node's normalised base.
+            let local = ((value - min) - node_base) >> shift;
+            let c = (local as usize).min(child_count - 1);
+            let child_id = children[c];
+            let MsdNodeState::Pending { bucket } = &mut nodes[child_id].state else {
+                unreachable!("children of a refining node are pending buckets");
+            };
+            bucket.push(value);
+            nodes[child_id].len += 1;
+            consumed += 1;
+            ops += 1;
+        }
     }
 
     if consumed == source.len() {
@@ -751,6 +810,22 @@ mod tests {
         assert_eq!(domain_bits(0, 64), 7);
         assert_eq!(domain_bits(100, 163), 6);
         assert_eq!(domain_bits(0, u64::MAX), 64);
+    }
+
+    #[test]
+    fn levels_total_uses_shared_radix_sizing() {
+        let mk = |max: u64| {
+            ProgressiveRadixsortMsd::new(
+                Arc::new(Column::from_vec(vec![0, max])),
+                BudgetPolicy::FixedDelta(0.5),
+            )
+        };
+        assert_eq!(mk(63).levels_total(), 1);
+        assert_eq!(mk(64).levels_total(), 2);
+        assert_eq!(
+            mk(u64::MAX).levels_total(),
+            crate::buckets::max_radix_levels(6)
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Dev probe (ignored): rough tuned-vs-scalar timings at bench scale.
+//! Run with `cargo test -p pi-core --release --test kernel_probe -- --ignored --nocapture`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pi_core::prelude::*;
+use pi_core::testing::random_column;
+
+#[test]
+#[ignore]
+fn refine_step_probe() {
+    let rows = 100_000;
+    let column = Arc::new(random_column(rows, rows as u64, 57));
+    for (label, tuning) in [
+        ("tuned", TuningParameters::default()),
+        ("scalar", TuningParameters::scalar()),
+    ] {
+        let mut best = f64::INFINITY;
+        let point = column.min();
+        for _ in 0..5 {
+            let mut index = Algorithm::RadixsortLsd.build_tuned(
+                Arc::clone(&column),
+                BudgetPolicy::FixedDelta(0.25),
+                CostConstants::synthetic(),
+                tuning,
+            );
+            let mut guard = 0;
+            while index.status().phase == Phase::Creation {
+                std::hint::black_box(index.query(point, point));
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+            let start = Instant::now();
+            while index.status().phase == Phase::Refinement {
+                std::hint::black_box(index.query(point, point));
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!("{label}: {:.3} ms", best * 1e3);
+    }
+}
+
+#[test]
+#[ignore]
+fn ska_sort_probe() {
+    let rows = 100_000;
+    let values = pi_core::testing::random_column(rows, u64::MAX, 57).into_vec();
+    let threshold = TuningParameters::default().comparison_sort_threshold;
+    for (label, radix) in [("ska", true), ("std_sort", false)] {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let mut data = values.clone();
+            let start = Instant::now();
+            if radix {
+                pi_core::kernels::ska_sort_by_level(&mut data, 7, threshold);
+            } else {
+                data.sort_unstable();
+            }
+            std::hint::black_box(data[0]);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!("{label}: {:.3} ms", best * 1e3);
+    }
+}

@@ -262,7 +262,14 @@ impl DurableTable {
                 .into_iter()
                 .map(|ShardState { base, sidecar }| (base, sidecar))
                 .collect();
-            let mut column = ShardedColumn::restore(name, algorithm, policy, boundaries, parts);
+            let mut column = ShardedColumn::restore(
+                name,
+                algorithm,
+                policy,
+                boundaries,
+                parts,
+                pi_core::tuning::TuningParameters::calibrated(),
+            );
             if let Some(registry) = registry {
                 column.attach_metrics(registry);
             }

@@ -1,0 +1,157 @@
+//! Scoped data-parallel helpers on top of [`Pool`].
+//!
+//! The pool's [`Job`] type is `'static` — right for
+//! fire-and-forget serving work, wrong for data-parallel passes over
+//! borrowed slices. [`run_scoped`] closes the gap: because
+//! [`Pool::run`](crate::pool::Pool::run) is a completion barrier (its
+//! latch counts every batch job down, even a panicking one, before the
+//! call returns), jobs borrowing from the caller's stack cannot outlive
+//! their borrows, and the `'static` bound can be erased soundly.
+//!
+//! [`par_chunk_counts`] is the consumer the refinement-kernel work
+//! needed: per-chunk histogram counting fanned out across the pool and
+//! merged on the caller. `pi-core`'s kernels themselves stay sequential
+//! — core has no scheduler dependency (layering: `pi-sched` sits above
+//! `pi-core` in the workspace) and its per-block passes are far below
+//! the parallel threshold anyway — so the engine layer decides, via
+//! `TuningParameters::parallel_count_threshold`, when a column is large
+//! enough to count here instead.
+
+use crate::pool::{Job, Pool};
+
+/// Runs a batch of jobs that may borrow from the caller's scope,
+/// blocking until every job has finished.
+///
+/// Affinities follow [`Pool::run`](crate::pool::Pool::run): `affinity %
+/// workers` selects the home deque. Panics if any job panicked (after
+/// all jobs of the batch have completed).
+pub fn run_scoped<'scope>(pool: &Pool, jobs: Vec<(usize, Box<dyn FnOnce() + Send + 'scope>)>) {
+    let jobs: Vec<(usize, Job)> = jobs
+        .into_iter()
+        .map(|(affinity, job)| {
+            // SAFETY: `Pool::run` does not return — normally or by
+            // unwinding — until every job of this batch has run to
+            // completion (each job counts the batch latch down via a
+            // drop guard, so even a panicking job completes the batch;
+            // the panic is re-raised on this caller only after the
+            // latch opens). The borrows captured by `job` therefore
+            // strictly outlive every use of the transmuted closure, and
+            // widening `'scope` to `'static` cannot be observed. The
+            // two trait-object types differ only in lifetime, so their
+            // layout is identical.
+            let job: Job = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'scope>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(job)
+            };
+            (affinity, job)
+        })
+        .collect();
+    pool.run(jobs);
+}
+
+/// Byte-digit histogram of `values`, counted per-chunk on the pool and
+/// merged on the caller. Exact (not sampled): every element is counted
+/// once.
+///
+/// One chunk per worker; each job writes a private `[usize; 256]`, so
+/// workers never contend on shared counters. For slices below the
+/// machine's parallel-count threshold the sequential pass is faster —
+/// callers gate on `TuningParameters::parallel_count_threshold` (the
+/// engine's distribution estimator does exactly this).
+///
+/// # Examples
+///
+/// ```
+/// use pi_sched::pool::Pool;
+/// use pi_sched::parallel::par_chunk_counts;
+///
+/// let pool = Pool::new(2);
+/// let values: Vec<u64> = (0..10_000).collect();
+/// let counts = par_chunk_counts(&pool, &values, &|v| (v >> 8) as u8);
+/// assert_eq!(counts.iter().sum::<usize>(), values.len());
+/// ```
+pub fn par_chunk_counts<F>(pool: &Pool, values: &[u64], digit_of: &F) -> [usize; 256]
+where
+    F: Fn(u64) -> u8 + Sync,
+{
+    let mut total = [0usize; 256];
+    if values.is_empty() {
+        return total;
+    }
+    let workers = pool.workers().max(1);
+    let chunk = values.len().div_ceil(workers).max(1);
+    let mut locals: Vec<[usize; 256]> = vec![[0; 256]; values.len().div_ceil(chunk)];
+    let jobs: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = values
+        .chunks(chunk)
+        .zip(locals.iter_mut())
+        .enumerate()
+        .map(|(i, (slice, slot))| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for &v in slice {
+                    slot[digit_of(v) as usize] += 1;
+                }
+            });
+            (i, job)
+        })
+        .collect();
+    run_scoped(pool, jobs);
+    for local in &locals {
+        for (t, l) in total.iter_mut().zip(local.iter()) {
+            *t += l;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_scoped_jobs_see_borrowed_data() {
+        let pool = Pool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let partials: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = data
+            .chunks(250)
+            .zip(partials.iter())
+            .enumerate()
+            .map(|(i, (slice, slot))| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    slot.store(slice.iter().sum::<u64>() as usize, Ordering::Release);
+                });
+                (i, job)
+            })
+            .collect();
+        run_scoped(&pool, jobs);
+        let total: usize = partials.iter().map(|p| p.load(Ordering::Acquire)).sum();
+        assert_eq!(total, (0..1000u64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn par_chunk_counts_matches_sequential() {
+        let pool = Pool::new(4);
+        let values: Vec<u64> = (0..100_000u64)
+            .map(|v| v.wrapping_mul(2654435761))
+            .collect();
+        let digit = |v: u64| (v >> 24) as u8;
+        let mut want = [0usize; 256];
+        for &v in &values {
+            want[digit(v) as usize] += 1;
+        }
+        assert_eq!(par_chunk_counts(&pool, &values, &digit), want);
+    }
+
+    #[test]
+    fn par_chunk_counts_handles_empty_and_tiny_inputs() {
+        let pool = Pool::new(2);
+        let empty = par_chunk_counts(&pool, &[], &|v| v as u8);
+        assert_eq!(empty.iter().sum::<usize>(), 0);
+        let one = par_chunk_counts(&pool, &[7], &|v| v as u8);
+        assert_eq!(one[7], 1);
+        assert_eq!(one.iter().sum::<usize>(), 1);
+    }
+}
